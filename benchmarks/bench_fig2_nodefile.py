@@ -1,0 +1,69 @@
+"""Figure 2: an XML node file compiles into a kickstart fragment.
+
+The paper's Figure 2 shows the DHCP-server node file — one <package>
+plus an awk %post that pins dhcpd to eth0.  We verify the shipped file
+parses to exactly that structure, that it lands verbatim in a generated
+frontend kickstart, and we benchmark the parse + generate path (the CGI
+must be fast: it runs once per booting node).
+"""
+
+from helpers import print_rows
+from repro.core.kickstart import (
+    DEFAULT_NODE_XML,
+    KickstartGenerator,
+    NodeFile,
+    default_graph,
+    default_node_files,
+)
+from repro.rpm import Repository, community_packages, npaci_packages, stock_redhat
+
+
+def _repo():
+    repo = Repository("rocks-dist")
+    for src in (stock_redhat(), community_packages(), npaci_packages()):
+        repo.add_all(src)
+    return repo
+
+
+def bench_fig2_parse_node_file(benchmark):
+    node = benchmark(
+        NodeFile.from_xml, "dhcp-server", DEFAULT_NODE_XML["dhcp-server"]
+    )
+    assert node.description == "Setup the DHCP server for the cluster"
+    assert node.package_names("i386") == ["dhcp"]
+    assert "DHCPD_INTERFACES" in node.post[0].script
+    print_rows(
+        "Figure 2: DHCP-server node file",
+        ("element", "value"),
+        [
+            ("description", node.description),
+            ("packages", ",".join(node.package_names("i386"))),
+            ("post fragments", len(node.post)),
+        ],
+    )
+
+
+def bench_fig2_fragment_lands_in_kickstart(benchmark):
+    repo = _repo()
+    gen = KickstartGenerator(default_graph(), default_node_files(), lambda d: repo)
+
+    ks = benchmark(gen.kickstart, "frontend", "i386", "rocks-dist")
+    text = ks.render()
+    assert "dhcp" in ks.packages
+    assert "DHCPD_INTERFACES" in text
+    assert "# --- begin dhcp-server ---" in text
+
+
+def bench_fig2_xml_roundtrip(benchmark):
+    def roundtrip():
+        out = {}
+        for name, xml in DEFAULT_NODE_XML.items():
+            node = NodeFile.from_xml(name, xml)
+            out[name] = NodeFile.from_xml(name, node.to_xml())
+        return out
+
+    nodes = benchmark(roundtrip)
+    assert len(nodes) == len(DEFAULT_NODE_XML)
+    originals = default_node_files()
+    for name, node in nodes.items():
+        assert node.package_names("i386") == originals[name].package_names("i386")

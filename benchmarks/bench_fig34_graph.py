@@ -1,0 +1,75 @@
+"""Figures 3 and 4: the XML graph file and its appliance traversal.
+
+Figure 3 is an excerpt of the graph XML; Figure 4 visualises it and the
+paper walks the example: a *compute* appliance's traversal reaches the
+compute, mpi and c-development node files.  We check the shipped graph
+reproduces that walk, that one graph serves every architecture
+(§6.1: three processor types from a single graph), and benchmark
+traversal + full kickstart generation (the per-boot CGI cost).
+"""
+
+from helpers import print_rows
+from repro.core.kickstart import (
+    Graph,
+    KickstartGenerator,
+    default_graph,
+    default_node_files,
+)
+from repro.rpm import Repository, community_packages, npaci_packages, stock_redhat
+
+
+def bench_fig4_compute_traversal(benchmark):
+    g = default_graph()
+    order = benchmark(g.traverse, "compute", "i386")
+    assert order[0] == "compute"
+    # the paper's example trio all appear, mpi before its child
+    assert {"mpi", "c-development"} <= set(order)
+    assert order.index("mpi") < order.index("c-development")
+    print_rows(
+        "Figure 4: compute appliance traversal",
+        ("position", "node file"),
+        list(enumerate(order)),
+    )
+
+
+def bench_fig4_one_graph_all_archs(benchmark):
+    """One XML graph drives IA-32, Athlon and IA-64 kickstarts (§6.1)."""
+    repo = Repository("rocks-dist")
+    for arch in ("i386", "athlon", "ia64"):
+        repo.add_all(stock_redhat(arch=arch))
+        repo.add_all(community_packages(arch))
+    repo.add_all(npaci_packages())
+    gen = KickstartGenerator(default_graph(), default_node_files(), lambda d: repo)
+
+    def generate_all():
+        return {
+            arch: gen.profile("compute", arch, "rocks-dist")
+            for arch in ("i386", "athlon", "ia64")
+        }
+
+    profiles = benchmark.pedantic(generate_all, rounds=1, iterations=1)
+    assert {p.appliance for p in profiles.values()} == {"compute"}
+    # per-arch divergence handled by the same graph:
+    assert any(p.name == "intel-mkl" for p in profiles["i386"].packages)
+    assert any(p.name == "intel-mkl" for p in profiles["athlon"].packages)
+    assert not any(p.name == "intel-mkl" for p in profiles["ia64"].packages)
+    rows = [
+        (arch, profiles[arch].n_packages, f"{profiles[arch].total_bytes / 1e6:.0f} MB")
+        for arch in ("i386", "athlon", "ia64")
+    ]
+    print_rows(
+        "§6.1: one graph, three architectures",
+        ("arch", "packages", "payload"),
+        rows,
+    )
+
+
+def bench_fig3_graph_xml_parse(benchmark):
+    xml = default_graph().to_xml()
+    g = benchmark(Graph.from_xml, xml)
+    assert g.edges == default_graph().edges
+
+
+def bench_fig4_dot_export(benchmark):
+    dot = benchmark(default_graph().to_dot)
+    assert '"compute" -> "mpi";' in dot

@@ -1,0 +1,112 @@
+"""Figures 5 and 6: rocks-dist gathering and hierarchical composition.
+
+Figure 5: rocks-dist merges Red Hat stock + updates + contrib + local
+RPMs into one distribution.  Figure 6: the process is repeatable — a
+Rocks distribution can itself be a parent, so a campus adds packages
+once and departments build from the campus tree.  §6.2.3 quantifies the
+tree: "each distribution is lightweight (on the order of 25MB) and can
+be built in under a minute."
+"""
+
+import pytest
+
+from helpers import print_rows
+from repro.core.distribution import RocksDist
+from repro.netsim import Environment
+from repro.rpm import (
+    Package,
+    Repository,
+    UpdateStream,
+    community_packages,
+    npaci_packages,
+    stock_redhat,
+)
+
+_stock = stock_redhat()
+
+
+def _standard():
+    stream = UpdateStream(_stock, updates_per_year=124)
+    return RocksDist.standard(
+        _stock,
+        updates=stream.updates_repository(),
+        contrib=community_packages(),
+        local=npaci_packages(),
+    )
+
+
+def bench_fig5_gather_resolves_newest(benchmark):
+    rd = _standard()
+    resolved, dropped = benchmark(rd.gather)
+    assert dropped > 0  # updates shadowed stock builds
+    assert "glibc" in resolved and "mpich" in resolved and "rocks-dist" in resolved
+    for name in resolved.names():
+        assert len(resolved.versions(name)) <= 2  # one per arch at most
+    print_rows(
+        "Figure 5: rocks-dist gather",
+        ("metric", "value"),
+        [
+            ("sources", len(rd.sources)),
+            ("resolved packages", len(resolved)),
+            ("older builds dropped", dropped),
+        ],
+    )
+
+
+def bench_fig5_dist_build_time_and_size(benchmark):
+    rd = _standard()
+    env = Environment()
+    dist = benchmark.pedantic(rd.dist, kwargs={"env": env}, rounds=1, iterations=1)
+    benchmark.extra_info["simulated_build_seconds"] = round(dist.build_seconds, 1)
+    benchmark.extra_info["tree_MB"] = round(dist.tree_bytes() / 1e6, 1)
+    # "built in under a minute"
+    assert dist.build_seconds < 60
+    # "on the order of 25MB"
+    assert 8e6 < dist.tree_bytes() < 40e6
+    print_rows(
+        "§6.2.3: distribution tree",
+        ("metric", "paper", "measured"),
+        [
+            ("build time (s)", "< 60", f"{dist.build_seconds:.1f}"),
+            ("tree size (MB)", "~25", f"{dist.tree_bytes() / 1e6:.1f}"),
+            ("payload behind symlinks (MB)", "-", f"{dist.payload_bytes() / 1e6:.0f}"),
+        ],
+    )
+
+
+def bench_fig6_hierarchical_composition(benchmark):
+    """NPACI -> campus -> department, the object-oriented model."""
+
+    def compose():
+        npaci = _standard().dist()
+        campus = RocksDist(name="campus-dist", parent=npaci)
+        campus.add_source(
+            Repository("campus", [Package("campus-compiler", "6.0", size=40_000_000)])
+        )
+        campus_dist = campus.dist()
+        dept = RocksDist(name="chem-dist", parent=campus_dist)
+        dept.add_source(Repository("chem", [Package("gaussian", "98", size=120_000_000)]))
+        return npaci, campus_dist, dept.dist()
+
+    npaci, campus_dist, dept_dist = benchmark.pedantic(compose, rounds=1, iterations=1)
+    # department inherits the whole ancestry plus its own software
+    for name in ("glibc", "mpich", "campus-compiler", "gaussian"):
+        assert name in dept_dist.repository, name
+    assert dept_dist.lineage() == "campus-dist -> chem-dist"
+    rows = [
+        (d.name, len(d.repository), f"{d.tree_bytes() / 1e6:.1f}")
+        for d in (npaci, campus_dist, dept_dist)
+    ]
+    print_rows(
+        "Figure 6: distribution hierarchy",
+        ("distribution", "packages", "tree MB"),
+        rows,
+    )
+
+
+def bench_fig6_child_rebuild_is_fast(benchmark):
+    """Re-running rocks-dist on an existing mirror is quick (symlinks)."""
+    npaci = _standard().dist()
+    campus = RocksDist(name="campus-dist", parent=npaci)
+    rebuilt = benchmark(campus.dist)
+    assert rebuilt.build_seconds < 60

@@ -1,0 +1,59 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation.  Simulated results (minutes of reinstall time, MB/s of
+throughput) are attached to pytest-benchmark's ``extra_info`` and also
+printed as paper-vs-measured rows, so ``pytest benchmarks/
+--benchmark-only`` reproduces the evaluation section in one run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import RocksCluster, build_cluster
+
+__all__ = ["reinstall_experiment", "ReinstallResult", "print_rows"]
+
+
+@dataclass
+class ReinstallResult:
+    """One cell of Table I: N concurrent reinstalls, wall-clock span."""
+
+    n_nodes: int
+    minutes: float
+    per_node_minutes: list[float]
+    bytes_served: float
+
+
+def reinstall_experiment(n_nodes: int, **kwargs) -> ReinstallResult:
+    """Build a cluster, integrate, then concurrently reinstall all nodes.
+
+    Matches §6.3's setup: one dual-PIII 100 Mbit HTTP server feeding
+    733 MHz-1 GHz PIII compute nodes with Myrinet (driver rebuilt from
+    source during the reinstall).
+    """
+    sim = build_cluster(n_compute=n_nodes, **kwargs)
+    sim.integrate_all()
+    served_before = sim.frontend.install_server.bytes_served
+    reports = sim.reinstall_all()
+    span = max(r.finished_at for r in reports) - min(r.started_at for r in reports)
+    return ReinstallResult(
+        n_nodes=n_nodes,
+        minutes=span / 60.0,
+        per_node_minutes=[r.minutes for r in reports],
+        bytes_served=sim.frontend.install_server.bytes_served - served_before,
+    )
+
+
+def print_rows(title: str, header: tuple, rows: list[tuple]) -> None:
+    """Print a paper-vs-measured table to the terminal."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    fmt = "  ".join(f"{{:>{w}}}" for w in widths)
+    print(fmt.format(*header))
+    for row in rows:
+        print(fmt.format(*row))

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Hierarchical distributions: NPACI -> campus -> department (Fig. 6).
+
+§6.2.2: "We envision a hierarchy of Rocks distribution hosts, each
+adding software packages for child distributions."  A campus mirrors the
+NPACI distribution over HTTP, adds its licensed software once, and every
+department builds clusters from the campus tree — inheriting both NPACI
+and campus software, optionally overriding either.
+
+Run:  python examples/campus_distribution.py
+"""
+
+from repro.core.distribution import RocksDist, mirror_over_http
+from repro.core.kickstart import NodeFile, default_graph, default_node_files
+from repro.netsim import Environment, FAST_ETHERNET, Network
+from repro.rpm import (
+    Package,
+    Repository,
+    community_packages,
+    npaci_packages,
+    stock_redhat,
+)
+from repro.services import InstallServer
+
+
+def main() -> None:
+    env = Environment()
+
+    print("== NPACI builds the root distribution (Figure 5) ==")
+    npaci_rd = RocksDist.standard(
+        stock_redhat(),
+        contrib=community_packages(),
+        local=npaci_packages(),
+        name="rocks-dist",
+    )
+    npaci_dist = npaci_rd.dist(env=env)
+    print(f"  {npaci_dist.name}: {len(npaci_dist.repository)} packages, "
+          f"tree {npaci_dist.tree_bytes() / 1e6:.1f} MB, "
+          f"built in {npaci_dist.build_seconds:.0f}s (simulated)")
+
+    print("\n== campus mirrors NPACI over HTTP (wget-style) ==")
+    net = Network(env)
+    net.attach("rocks.npaci.edu", FAST_ETHERNET)
+    net.attach("rocks.campus.edu", FAST_ETHERNET)
+    npaci_www = InstallServer(env, net, "rocks.npaci.edu")
+    npaci_www.publish_packages(npaci_dist.name, npaci_dist.repository)
+    campus_mirror = Repository("campus-mirror")
+    report = env.run(
+        until=env.process(
+            mirror_over_http(
+                env, npaci_www, "rocks-dist", "rocks.campus.edu", campus_mirror
+            )
+        )
+    )
+    print(f"  fetched {report.n_fetched} packages "
+          f"({report.bytes_transferred / 1e6:.0f} MB) "
+          f"in {report.seconds / 60:.1f} simulated minutes")
+
+    print("\n== campus adds licensed software + a node file, rebuilds ==")
+    campus_rd = RocksDist(name="campus-dist", parent=npaci_dist)
+    campus_rd.add_source(
+        Repository(
+            "campus-local",
+            [
+                Package("campus-compiler", "6.0", size=40_000_000, vendor="campus"),
+                Package("campus-license-client", "1.2", size=500_000, vendor="campus"),
+            ],
+        )
+    )
+    node_files = default_node_files()
+    node_files["campus-licensed"] = NodeFile.from_xml(
+        "campus-licensed",
+        "<kickstart>"
+        "<description>Campus licensed toolchain</description>"
+        "<package>campus-compiler</package>"
+        "<package>campus-license-client</package>"
+        "<post seconds='1'>echo license.campus.edu &gt; /etc/license.conf</post>"
+        "</kickstart>",
+    )
+    graph = default_graph()
+    graph.add_edge("compute", "campus-licensed")
+    campus_dist = campus_rd.dist(graph=graph, node_files=node_files, env=env)
+    print(f"  {campus_dist.lineage()}: {len(campus_dist.repository)} packages")
+
+    print("\n== chemistry department extends the campus tree ==")
+    chem_rd = RocksDist(name="chem-dist", parent=campus_dist)
+    chem_rd.add_source(
+        Repository("chem-local", [Package("gaussian", "98", size=120_000_000)])
+    )
+    # the department also overrides a campus package with a newer build
+    chem_rd.add_source(
+        Repository(
+            "chem-overrides",
+            [Package("campus-compiler", "6.1", size=41_000_000, vendor="chem")],
+        )
+    )
+    chem_dist = chem_rd.dist(graph=graph, node_files=node_files, env=env)
+    print(f"  {chem_dist.lineage()}: {len(chem_dist.repository)} packages")
+
+    print("\n== inheritance and override checks ==")
+    for name in ("glibc", "mpich", "rocks-dist", "campus-compiler", "gaussian"):
+        pkg = chem_dist.latest(name)
+        print(f"  {name:<18} {pkg.version:<8} (vendor: {pkg.vendor})")
+    assert chem_dist.latest("campus-compiler").version == "6.1"
+
+    print("\nevery department cluster kickstarted from chem-dist now "
+          "inherits NPACI + campus + department software — and a campus "
+          "security rebuild propagates by re-running rocks-dist.")
+
+
+if __name__ == "__main__":
+    main()

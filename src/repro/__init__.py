@@ -1,0 +1,35 @@
+"""repro — a reproduction of *NPACI Rocks: Tools and Techniques for
+Easily Deploying Manageable Linux Clusters* (Papadopoulos, Katz, Bruno;
+CLUSTER 2001) on a simulated cluster substrate.
+
+The package layers, bottom to top:
+
+* :mod:`repro.netsim` — deterministic discrete-event engine + fluid-flow
+  network with max-min fair bandwidth sharing;
+* :mod:`repro.rpm` — RPM versioning, packages, repositories, depsolving,
+  and a synthetic Red Hat tree calibrated to the paper's workload;
+* :mod:`repro.cluster` — machines, racks, PDUs, the Ethernet fabric;
+* :mod:`repro.services` — syslog, DHCP, the install HTTP server, NIS, NFS;
+* :mod:`repro.installer` — the anaconda/Kickstart install state machine;
+* :mod:`repro.scheduler` — PBS, Maui, REXEC;
+* :mod:`repro.kernel` — module versioning, ``make rpm``, the GM driver;
+* :mod:`repro.core` — the paper's contribution: the XML kickstart
+  framework, rocks-dist, the cluster database, insert-ethers,
+  shoot-node, eKV, cluster-fork/kill, and frontend bring-up.
+
+Quick start::
+
+    from repro import build_cluster
+
+    sim = build_cluster(n_compute=8)
+    sim.integrate_all()            # insert-ethers + first installs
+    reports = sim.reinstall_all()  # Table I's experiment
+
+See ``examples/quickstart.py`` for the full tour.
+"""
+
+from .quickbuild import RocksCluster, build_cluster
+
+__version__ = "1.0.0"
+
+__all__ = ["RocksCluster", "build_cluster", "__version__"]

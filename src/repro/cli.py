@@ -1,0 +1,203 @@
+"""Command-line interface: drive the simulated Rocks cluster like the
+real toolchain.
+
+Because the cluster is simulated, the CLI is scenario-oriented: each
+subcommand stands up a cluster, exercises one Rocks workflow with the
+real tool implementations, and prints what the corresponding physical
+commands would have shown.
+
+    python -m repro build --nodes 8          # frontend + insert-ethers
+    python -m repro reinstall --nodes 16     # the Table I experiment
+    python -m repro table1                   # the full Table I sweep
+    python -m repro dist                     # rocks-dist build report
+    python -m repro kickstart --appliance compute --arch ia64
+    python -m repro reports                  # hosts/dhcpd/PBS from the DB
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from . import build_cluster
+from .core.kickstart import KickstartGenerator, default_graph, default_node_files
+from .rpm import Repository, community_packages, npaci_packages, stock_redhat
+
+__all__ = ["main"]
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    sim = build_cluster(n_compute=args.nodes)
+    names = sim.integrate_all()
+    f = sim.frontend
+    print(f"frontend {f.config.name}: {len(f.machine.rpmdb)} packages, "
+          f"{len(f.distributions)} distribution(s)")
+    print(f"integrated {len(names)} compute nodes via insert-ethers:")
+    for row in sim.db.compute_nodes():
+        print(f"  {row.name:<14} {row.mac}  {row.ip}  rack={row.rack} rank={row.rank}")
+    return 0
+
+
+def _cmd_reinstall(args: argparse.Namespace) -> int:
+    sim = build_cluster(n_compute=args.nodes)
+    sim.integrate_all()
+    reports = sim.reinstall_all()
+    span = max(r.finished_at for r in reports) - min(r.started_at for r in reports)
+    for r in sorted(reports, key=lambda r: r.host):
+        print(f"  {r.host:<14} {r.method:<9} {r.minutes:6.2f} min")
+    print(f"total: {len(reports)} concurrent reinstalls in {span / 60:.2f} minutes")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    paper = {1: 10.3, 2: 9.8, 4: 10.1, 8: 10.4, 16: 11.1, 32: 13.7}
+    print(f"{'nodes':>5}  {'paper':>6}  {'measured':>8}")
+    for n in sorted(paper):
+        if n > args.max_nodes:
+            continue
+        sim = build_cluster(n_compute=n)
+        sim.integrate_all()
+        reports = sim.reinstall_all()
+        span = (
+            max(r.finished_at for r in reports)
+            - min(r.started_at for r in reports)
+        ) / 60
+        print(f"{n:>5}  {paper[n]:>6.1f}  {span:>8.2f}")
+    return 0
+
+
+def _cmd_dist(args: argparse.Namespace) -> int:
+    from .core.distribution import RocksDist
+    from .rpm import UpdateStream
+
+    stock = stock_redhat(arch=args.arch)
+    stream = UpdateStream(stock, updates_per_year=124)
+    rd = RocksDist.standard(
+        stock,
+        updates=stream.updates_repository(args.day),
+        contrib=community_packages(args.arch),
+        local=npaci_packages(),
+        arch=args.arch,
+    )
+    dist = rd.dist()
+    report = rd.reports[-1]
+    print(f"distribution {dist.name} ({dist.arch})")
+    print(f"  sources:        {report.n_sources}")
+    print(f"  packages:       {report.n_packages}")
+    print(f"  older dropped:  {report.dropped_older}")
+    print(f"  build time:     {report.build_seconds:.1f} s (simulated)")
+    print(f"  tree size:      {report.tree_bytes / 1e6:.1f} MB")
+    print(f"  payload behind: {dist.payload_bytes() / 1e6:.0f} MB")
+    return 0
+
+
+def _cmd_kickstart(args: argparse.Namespace) -> int:
+    repo = Repository("rocks-dist")
+    repo.add_all(stock_redhat(arch=args.arch))
+    repo.add_all(community_packages(args.arch))
+    repo.add_all(npaci_packages())
+    gen = KickstartGenerator(default_graph(), default_node_files(), lambda d: repo)
+    ks = gen.kickstart(args.appliance, args.arch, "rocks-dist")
+    sys.stdout.write(ks.render())
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    graph = default_graph()
+    if args.dot:
+        print(graph.to_dot())
+    else:
+        for root in graph.roots():
+            print(f"{root}: {' '.join(graph.traverse(root, args.arch))}")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    repo = Repository("rocks-dist")
+    repo.add_all(stock_redhat(arch=args.arch))
+    repo.add_all(community_packages(args.arch))
+    repo.add_all(npaci_packages())
+    gen = KickstartGenerator(default_graph(), default_node_files(), lambda d: repo)
+    problems = gen.lint("rocks-dist", arches=(args.arch,))
+    if problems:
+        for p in problems:
+            print(f"lint: {p}")
+        return 1
+    print("lint: XML infrastructure is consistent with the distribution")
+    return 0
+
+
+def _cmd_reports(args: argparse.Namespace) -> int:
+    from .core.database import report_dhcpd, report_hosts, report_pbs_nodes
+
+    sim = build_cluster(n_compute=args.nodes)
+    sim.integrate_all()
+    which = {
+        "hosts": report_hosts,
+        "dhcpd": report_dhcpd,
+        "pbsnodes": report_pbs_nodes,
+    }
+    for name, fn in which.items():
+        if args.report in ("all", name):
+            print(f"# ---- {name} " + "-" * 40)
+            print(fn(sim.db))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NPACI Rocks reproduction: simulated cluster scenarios",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build", help="frontend + insert-ethers integration")
+    p.add_argument("--nodes", type=int, default=4)
+    p.set_defaults(fn=_cmd_build)
+
+    p = sub.add_parser("reinstall", help="concurrent reinstall (Table I point)")
+    p.add_argument("--nodes", type=int, default=8)
+    p.set_defaults(fn=_cmd_reinstall)
+
+    p = sub.add_parser("table1", help="the full Table I sweep")
+    p.add_argument("--max-nodes", type=int, default=32)
+    p.set_defaults(fn=_cmd_table1)
+
+    p = sub.add_parser("dist", help="rocks-dist build report")
+    p.add_argument("--arch", default="i386", choices=["i386", "athlon", "ia64"])
+    p.add_argument("--day", type=int, default=360,
+                   help="include vendor updates released by this day")
+    p.set_defaults(fn=_cmd_dist)
+
+    p = sub.add_parser("kickstart", help="render a generated kickstart file")
+    p.add_argument("--appliance", default="compute",
+                   choices=["compute", "frontend", "nfs", "web"])
+    p.add_argument("--arch", default="i386", choices=["i386", "athlon", "ia64"])
+    p.set_defaults(fn=_cmd_kickstart)
+
+    p = sub.add_parser("graph", help="show the appliance graph")
+    p.add_argument("--arch", default="i386")
+    p.add_argument("--dot", action="store_true", help="GraphViz output (Fig. 4)")
+    p.set_defaults(fn=_cmd_graph)
+
+    p = sub.add_parser("lint", help="validate the XML kickstart infrastructure")
+    p.add_argument("--arch", default="i386", choices=["i386", "athlon", "ia64"])
+    p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser("reports", help="database-derived config files (§6.4)")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--report", default="all",
+                   choices=["all", "hosts", "dhcpd", "pbsnodes"])
+    p.set_defaults(fn=_cmd_reports)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

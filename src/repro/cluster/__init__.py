@@ -1,0 +1,39 @@
+"""Simulated cluster hardware: machines, racks, PDUs, and the catalog."""
+
+from .cluster import ClusterHardware
+from .hardware import (
+    CATALOG,
+    Cpu,
+    CpuArch,
+    Disk,
+    DiskController,
+    MacAllocator,
+    MachineSpec,
+    Nic,
+    NicKind,
+)
+from .node import BootTimes, Machine, MachineState, Partition, PowerState
+from .pdu import OutletError, PowerDistributionUnit
+from .rack import Cabinet, CabinetFull
+
+__all__ = [
+    "ClusterHardware",
+    "CATALOG",
+    "Cpu",
+    "CpuArch",
+    "Disk",
+    "DiskController",
+    "MacAllocator",
+    "MachineSpec",
+    "Nic",
+    "NicKind",
+    "BootTimes",
+    "Machine",
+    "MachineState",
+    "Partition",
+    "PowerState",
+    "OutletError",
+    "PowerDistributionUnit",
+    "Cabinet",
+    "CabinetFull",
+]

@@ -1,0 +1,62 @@
+"""Cabinets: the physical layout behind Rocks's (rack, rank) naming.
+
+insert-ethers names nodes ``compute-<rack>-<rank>`` by booting them in
+physical order (§6.4, footnote); the cabinet model records that mapping
+and provides each cabinet's Ethernet switch and PDU, matching Table II's
+``network-0-0`` / PDU membership rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..netsim import Environment
+from .node import Machine
+from .pdu import PowerDistributionUnit
+
+__all__ = ["Cabinet", "CabinetFull"]
+
+
+class CabinetFull(Exception):
+    """No free slots (or PDU outlets) remain in the cabinet."""
+
+
+class Cabinet:
+    """One rack: machines in rank order plus shared switch and PDU."""
+
+    def __init__(self, env: Environment, rack: int, capacity: int = 32):
+        if rack < 0:
+            raise ValueError("rack number cannot be negative")
+        if capacity <= 0:
+            raise ValueError("cabinet capacity must be positive")
+        self.env = env
+        self.rack = rack
+        self.capacity = capacity
+        self.switch_name = f"network-{rack}-0"
+        self.pdu = PowerDistributionUnit(env, f"pdu-{rack}-0", n_outlets=capacity)
+        self._slots: list[Machine] = []
+
+    def insert(self, machine: Machine) -> int:
+        """Rack a machine in the next slot; returns its rank."""
+        if len(self._slots) >= self.capacity:
+            raise CabinetFull(f"rack {self.rack} is full ({self.capacity} slots)")
+        rank = len(self._slots)
+        self._slots.append(machine)
+        self.pdu.wire(rank, machine)
+        return rank
+
+    def rank_of(self, machine: Machine) -> Optional[int]:
+        try:
+            return self._slots.index(machine)
+        except ValueError:
+            return None
+
+    def machine_at(self, rank: int) -> Machine:
+        return self._slots[rank]
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self) -> Iterator[Machine]:
+        return iter(self._slots)

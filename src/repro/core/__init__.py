@@ -1,0 +1,13 @@
+"""The paper's contribution: the NPACI Rocks toolkit.
+
+Subpackages:
+
+* :mod:`repro.core.kickstart` — XML node/graph framework and the CGI
+  that compiles kickstart files on the fly (§6.1);
+* :mod:`repro.core.distribution` — rocks-dist (§6.2);
+* :mod:`repro.core.database` — the cluster SQL database and its report
+  generators (§6.4);
+* :mod:`repro.core.tools` — insert-ethers, shoot-node, eKV,
+  cluster-fork/cluster-kill (§6.3-6.4);
+* :mod:`repro.core.frontend` — frontend bring-up tying it all together.
+"""

@@ -1,0 +1,18 @@
+"""The Rocks cluster configuration database and its report generators."""
+
+from .clusterdb import ClusterDatabase, DatabaseError, NodeRow
+from .reports import dhcp_bindings, report_dhcpd, report_hosts, report_pbs_nodes
+from .schema import DEFAULT_APPLIANCES, DEFAULT_MEMBERSHIPS, SCHEMA
+
+__all__ = [
+    "ClusterDatabase",
+    "DatabaseError",
+    "NodeRow",
+    "dhcp_bindings",
+    "report_dhcpd",
+    "report_hosts",
+    "report_pbs_nodes",
+    "DEFAULT_APPLIANCES",
+    "DEFAULT_MEMBERSHIPS",
+    "SCHEMA",
+]

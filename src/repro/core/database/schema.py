@@ -1,0 +1,74 @@
+"""The cluster database schema (§6.4, Tables II and III).
+
+The paper's two key tables are the site-wide *app_globals* configuration
+table and the *nodes* table; *memberships* and *appliances* classify
+what each node is.  MySQL in the paper, SQLite here — the usage is plain
+SQL (SELECTs, INSERTs, multi-table JOINs for cluster-kill), so the
+engine swap preserves every behaviour the paper exercises.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SCHEMA", "DEFAULT_APPLIANCES", "DEFAULT_MEMBERSHIPS"]
+
+SCHEMA = """
+CREATE TABLE IF NOT EXISTS appliances (
+    id        INTEGER PRIMARY KEY,
+    name      TEXT NOT NULL UNIQUE,
+    graph     TEXT NOT NULL DEFAULT 'default',
+    node      TEXT NOT NULL    -- root node file in the kickstart graph
+);
+
+CREATE TABLE IF NOT EXISTS memberships (
+    id        INTEGER PRIMARY KEY,
+    name      TEXT NOT NULL UNIQUE,
+    appliance INTEGER NOT NULL REFERENCES appliances(id),
+    compute   TEXT NOT NULL DEFAULT 'no'   -- 'yes' | 'no' (Table III)
+);
+
+CREATE TABLE IF NOT EXISTS nodes (
+    id         INTEGER PRIMARY KEY,
+    mac        TEXT UNIQUE,
+    name       TEXT NOT NULL UNIQUE,
+    membership INTEGER NOT NULL REFERENCES memberships(id),
+    cpus       INTEGER NOT NULL DEFAULT 1,
+    rack       INTEGER NOT NULL DEFAULT 0,
+    rank       INTEGER NOT NULL DEFAULT 0,
+    ip         TEXT UNIQUE,
+    arch       TEXT NOT NULL DEFAULT 'i386',
+    os_dist    TEXT NOT NULL DEFAULT 'rocks-dist',
+    comment    TEXT DEFAULT ''
+);
+
+CREATE TABLE IF NOT EXISTS app_globals (
+    id        INTEGER PRIMARY KEY,
+    service   TEXT NOT NULL,
+    component TEXT NOT NULL,
+    value     TEXT NOT NULL,
+    UNIQUE (service, component)
+);
+"""
+
+#: Appliance catalog — the roots of the kickstart graph (§6.1).  The
+#: numeric ids echo Table II/III's Appliance column.
+DEFAULT_APPLIANCES = [
+    # (id, name, graph root node)
+    (1, "frontend", "frontend"),
+    (2, "compute", "compute"),
+    (4, "switch", "switch"),
+    (5, "power", "power"),
+    (7, "nfs", "nfs"),
+    (8, "web", "web"),
+]
+
+#: Membership catalog mirroring Table III (name, appliance id, compute?).
+DEFAULT_MEMBERSHIPS = [
+    (1, "Frontend", 1, "no"),
+    (2, "Compute", 2, "yes"),
+    (3, "External", 1, "no"),
+    (4, "Ethernet Switches", 4, "no"),
+    (5, "Power Units", 5, "no"),
+    (6, "Myrinet Switches", 4, "no"),
+    (7, "NFS Servers", 7, "no"),
+    (8, "Web Servers", 8, "no"),
+]

@@ -1,0 +1,21 @@
+"""rocks-dist: building, composing, and mirroring Rocks distributions."""
+
+from .mirror import MirrorReport, mirror_over_http
+from .rocksdist import (
+    BUILD_BASE_SECONDS,
+    BUILD_SECONDS_PER_PACKAGE,
+    BuildReport,
+    RocksDist,
+)
+from .tree import TREE_COST, Distribution
+
+__all__ = [
+    "MirrorReport",
+    "mirror_over_http",
+    "BUILD_BASE_SECONDS",
+    "BUILD_SECONDS_PER_PACKAGE",
+    "BuildReport",
+    "RocksDist",
+    "TREE_COST",
+    "Distribution",
+]

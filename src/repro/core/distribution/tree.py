@@ -1,0 +1,104 @@
+"""A materialised Rocks distribution tree (§6.2.3).
+
+"rocks-dist ... creates a new tree comprised mostly of symbolic links to
+the mirrored software.  Inside this tree is a build directory that
+contains the XML configuration infrastructure...  because each
+distribution is composed mainly of symbolic links, each distribution is
+lightweight (on the order of 25MB) and can be built in under a minute."
+
+The tree model tracks what a real one occupies on disk: symlinks and
+package metadata (the hdlist anaconda reads), the XML build directory,
+and boot images — *not* the RPM payloads, which stay in the mirror.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...rpm import Package, Repository
+from ..kickstart import Graph, NodeFile
+
+__all__ = ["Distribution", "TREE_COST"]
+
+
+@dataclass(frozen=True)
+class _TreeCost:
+    """On-disk bytes per tree component (calibrated to the ~25 MB claim)."""
+
+    symlink: int = 64  # a symlink inode/dirent
+    hdlist_per_package: int = 18_000  # anaconda package metadata
+    boot_images: int = 2_500_000  # vmlinuz + initrd + stage2 for installs
+    xml_file_overhead: int = 256
+
+
+TREE_COST = _TreeCost()
+
+
+@dataclass
+class Distribution:
+    """One built distribution: resolved packages + the XML infrastructure."""
+
+    name: str
+    version: str
+    arch: str
+    repository: Repository  # resolved, newest-only view
+    graph: Graph
+    node_files: dict[str, NodeFile]
+    parent: Optional[str] = None  # lineage (Figure 6)
+    build_seconds: float = 0.0
+    generation: int = 1
+
+    # -- layout ------------------------------------------------------------------
+    def paths(self) -> list[str]:
+        """Relative paths of the tree (RedHat/RPMS symlinks + build dir)."""
+        out = [f"RedHat/RPMS/{pkg.filename}" for pkg in self.repository]
+        out.append("RedHat/base/hdlist")
+        out.extend(f"build/nodes/{name}.xml" for name in sorted(self.node_files))
+        out.append("build/graphs/default.xml")
+        out.extend(["images/vmlinuz", "images/initrd.img"])
+        return out
+
+    def tree_bytes(self) -> int:
+        """Disk footprint of the tree itself (symlinks, not payloads)."""
+        n = len(self.repository)
+        xml_bytes = sum(
+            len(nf.to_xml().encode()) + TREE_COST.xml_file_overhead
+            for nf in self.node_files.values()
+        )
+        xml_bytes += len(self.graph.to_xml().encode()) + TREE_COST.xml_file_overhead
+        return (
+            n * TREE_COST.symlink
+            + n * TREE_COST.hdlist_per_package
+            + TREE_COST.boot_images
+            + xml_bytes
+        )
+
+    def payload_bytes(self) -> int:
+        """Bytes behind the symlinks (what nodes actually download)."""
+        return self.repository.total_size()
+
+    # -- queries --------------------------------------------------------------------
+    def latest(self, name: str) -> Package:
+        return self.repository.latest(name)
+
+    def package_names(self) -> list[str]:
+        return self.repository.names()
+
+    def lineage(self) -> str:
+        return f"{self.parent} -> {self.name}" if self.parent else self.name
+
+    def as_source(self) -> Repository:
+        """Use this distribution as a parent for a child rocks-dist run.
+
+        "A consequence of this is repeatability -- a Rocks distribution
+        can be run through the identical process to produce an enhanced
+        Rocks distribution" (§6.2.2).
+        """
+        return self.repository
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Distribution({self.name!r}, {len(self.repository)} packages, "
+            f"{self.tree_bytes() / 1e6:.1f} MB tree)"
+        )

@@ -1,0 +1,32 @@
+"""Rocks's XML kickstart framework: node files, graph, generator, CGI."""
+
+from .cgi import KickstartCgi, UnknownClient
+from .defaults import (
+    DEFAULT_GRAPH_XML,
+    DEFAULT_NODE_XML,
+    default_graph,
+    default_node_files,
+)
+from .generator import GenerationError, KickstartGenerator
+from .graph import Edge, Graph, GraphError
+from .kickstartfile import KickstartFile
+from .nodefile import NodeFile, NodeFileError, PackageRef, PostFragment
+
+__all__ = [
+    "KickstartCgi",
+    "UnknownClient",
+    "DEFAULT_GRAPH_XML",
+    "DEFAULT_NODE_XML",
+    "default_graph",
+    "default_node_files",
+    "GenerationError",
+    "KickstartGenerator",
+    "Edge",
+    "Graph",
+    "GraphError",
+    "KickstartFile",
+    "NodeFile",
+    "NodeFileError",
+    "PackageRef",
+    "PostFragment",
+]

@@ -1,0 +1,53 @@
+"""The kickstart CGI script (§6.1).
+
+"At installation time, a machine requests its kickstart file via HTTP
+from a CGI script on the frontend server.  This script uses the
+requesting node's IP address to drive a series of SQL queries that
+determine the appliance type, software distribution, and localization
+of the node."
+
+On the simulated Ethernet a client is identified by its MAC (its only
+pre-assignment identity); the CGI accepts either a MAC or an IP and runs
+the same SQL lookups — behaviourally identical, since both are the L2/L3
+identities the nodes table binds together.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...installer import InstallProfile
+from ..database import ClusterDatabase
+from .generator import KickstartGenerator
+
+__all__ = ["KickstartCgi", "UnknownClient"]
+
+
+class UnknownClient(Exception):
+    """The requesting address is not in the nodes table (HTTP 403 in Rocks)."""
+
+
+class KickstartCgi:
+    """The callable mounted at /install/kickstart.cgi."""
+
+    def __init__(self, db: ClusterDatabase, generator: KickstartGenerator):
+        self.db = db
+        self.generator = generator
+        self.requests = 0
+
+    def __call__(self, client: str, path: str) -> tuple[InstallProfile, float]:
+        """HTTP CGI entry point: (client identity, URL) -> (body, bytes)."""
+        profile = self.generate(client)
+        return profile, float(len(profile.kickstart_text.encode()))
+
+    def generate(self, client: str) -> InstallProfile:
+        """SQL lookups (MAC or IP -> node row) then graph compilation."""
+        self.requests += 1
+        row = self.db.node_by_mac(client)
+        if row is None:
+            row = self.db.node_by_ip(client)
+        if row is None:
+            raise UnknownClient(
+                f"kickstart request from unknown client {client!r}"
+            )
+        return self.generator.profile_for_row(row, self.db)

@@ -1,0 +1,273 @@
+"""The default Rocks node files and graph.
+
+"We develop and distribute the default set of node and graph files that
+are automatically installed when a user creates a frontend node.  Users
+can modify (or add) a node or graph file to tailor the cluster to their
+needs" (§6.1 footnote).  These defaults describe both appliances of a
+basic Rocks cluster — *frontend* and *compute* — plus the *nfs* and
+*web* appliance variants that appear in Table II.
+
+Everything here is authored as real XML text and parsed through the
+same :class:`NodeFile`/:class:`Graph` machinery users employ, so the
+default set doubles as an integration test of the XML framework.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph
+from .nodefile import NodeFile
+
+__all__ = ["default_node_files", "default_graph", "DEFAULT_NODE_XML", "DEFAULT_GRAPH_XML"]
+
+
+#: Figure 2 of the paper, verbatim in spirit: the DHCP server module.
+DHCP_SERVER_XML = """<?xml version="1.0" standalone="no"?>
+<kickstart>
+  <description>Setup the DHCP server for the cluster</description>
+  <package>dhcp</package>
+  <post seconds="2">
+awk ' /^DHCPD_INTERFACES/ {
+        printf("DHCPD_INTERFACES=\\"eth0\\"\\n");
+        next;
+      }
+      { print $0; } ' /etc/sysconfig/dhcpd &gt; /tmp/dhcpd
+mv /tmp/dhcpd /etc/sysconfig/dhcpd
+  </post>
+</kickstart>
+"""
+
+DEFAULT_NODE_XML: dict[str, str] = {
+    "dhcp-server": DHCP_SERVER_XML,
+    "base": """<?xml version="1.0" standalone="no"?>
+<kickstart>
+  <description>Core operating environment for every Rocks appliance</description>
+  <package>basesystem</package>
+  <package>openssh</package>
+  <package>openssh-clients</package>
+  <package>openssh-server</package>
+  <package>wget</package>
+  <package>rsync</package>
+  <package>sudo</package>
+  <post seconds="5">
+# generate host keys and install cluster root authorized_keys
+ssh-keygen -q -t rsa -f /etc/ssh/ssh_host_rsa_key -N ''
+  </post>
+</kickstart>
+""",
+    "c-development": """<?xml version="1.0" standalone="no"?>
+<kickstart>
+  <description>Compilers and development tools</description>
+  <package>gcc</package>
+  <package>gcc-g77</package>
+  <package>gcc-c++</package>
+  <package>make</package>
+  <package>autoconf</package>
+  <package>automake</package>
+  <package>gdb</package>
+  <package>python</package>
+  <post seconds="1">/sbin/ldconfig</post>
+</kickstart>
+""",
+    "mpi": """<?xml version="1.0" standalone="no"?>
+<kickstart>
+  <description>Message passing: MPICH (Ethernet and Myrinet devices), PVM, BLAS</description>
+  <package>mpich</package>
+  <package>mpich-devel</package>
+  <package>pvm</package>
+  <package>atlas</package>
+  <package arch="i386,athlon">intel-mkl</package>
+  <post seconds="2">
+echo /usr/local/mpich/bin &gt;&gt; /etc/profile.d/mpi.sh
+  </post>
+</kickstart>
+""",
+    "myrinet": """<?xml version="1.0" standalone="no"?>
+<kickstart>
+  <description>Myrinet GM driver: source package rebuilt per-kernel on node</description>
+  <package>kernel-source</package>
+  <post seconds="0">
+# GM driver is rebuilt from myrinet-gm.src.rpm on first boot;
+# rebuild time is modelled separately by the installer.
+  </post>
+</kickstart>
+""",
+    "nis-client": """<?xml version="1.0" standalone="no"?>
+<kickstart>
+  <description>Bind to the cluster NIS domain for account information</description>
+  <package>ypbind</package>
+  <package>yp-tools</package>
+  <post seconds="2">
+echo "domain rocks server frontend-0" &gt; /etc/yp.conf
+  </post>
+</kickstart>
+""",
+    "nis-server": """<?xml version="1.0" standalone="no"?>
+<kickstart>
+  <description>Serve the cluster NIS domain from the frontend</description>
+  <package>ypserv</package>
+  <package>yp-tools</package>
+  <post seconds="2">/usr/lib/yp/ypinit -m &lt; /dev/null</post>
+</kickstart>
+""",
+    "nfs-client": """<?xml version="1.0" standalone="no"?>
+<kickstart>
+  <description>Mount user home directories from the frontend</description>
+  <package>nfs-utils</package>
+  <package>portmap</package>
+  <post seconds="2">
+echo "frontend-0:/export/home /home nfs defaults 0 0" &gt;&gt; /etc/fstab
+  </post>
+</kickstart>
+""",
+    "nfs-server": """<?xml version="1.0" standalone="no"?>
+<kickstart>
+  <description>Export home directories (the one unscalable service)</description>
+  <package>nfs-utils</package>
+  <package>portmap</package>
+  <post seconds="2">
+echo "/export/home *(rw,no_root_squash)" &gt;&gt; /etc/exports
+  </post>
+</kickstart>
+""",
+    "pbs-mom": """<?xml version="1.0" standalone="no"?>
+<kickstart>
+  <description>PBS execution daemon for compute nodes</description>
+  <package>pbs-mom</package>
+  <post seconds="2">
+echo '$clienthost frontend-0' &gt; /var/spool/pbs/mom_priv/config
+  </post>
+</kickstart>
+""",
+    "pbs-server": """<?xml version="1.0" standalone="no"?>
+<kickstart>
+  <description>PBS server and the Maui scheduler with a default queue</description>
+  <package>pbs</package>
+  <package>maui</package>
+  <post seconds="3">
+qmgr -c "create queue default queue_type=execution"
+qmgr -c "set server scheduling=true"
+  </post>
+</kickstart>
+""",
+    "rexec": """<?xml version="1.0" standalone="no"?>
+<kickstart>
+  <description>UC Berkeley REXEC transparent remote execution</description>
+  <package>rexec</package>
+  <post seconds="1">chkconfig rexecd on</post>
+</kickstart>
+""",
+    "ekv": """<?xml version="1.0" standalone="no"?>
+<kickstart>
+  <description>Ethernet keyboard and video: installer console over telnet</description>
+  <package>rocks-ekv</package>
+  <package>telnet-server</package>
+  <post seconds="1">chkconfig ekv on</post>
+</kickstart>
+""",
+    "http-server": """<?xml version="1.0" standalone="no"?>
+<kickstart>
+  <description>Apache: serves RPMs and the kickstart CGI</description>
+  <package>apache</package>
+  <package>mod_ssl</package>
+  <post seconds="2">chkconfig httpd on</post>
+</kickstart>
+""",
+    "mysql-server": """<?xml version="1.0" standalone="no"?>
+<kickstart>
+  <description>The cluster configuration database (§6.4)</description>
+  <package>mysql</package>
+  <package>mysql-server</package>
+  <package>rocks-sql</package>
+  <post seconds="3">create-rocks-db --with-default-memberships</post>
+</kickstart>
+""",
+    "install-server": """<?xml version="1.0" standalone="no"?>
+<kickstart>
+  <description>rocks-dist and the node integration tools</description>
+  <package>rocks-dist</package>
+  <package>rocks-insert-ethers</package>
+  <package>rocks-shoot-node</package>
+  <package>rocks-cluster-tools</package>
+  <package>rocks-kickstart-profiles</package>
+  <post seconds="2">rocks-dist mirror; rocks-dist dist</post>
+</kickstart>
+""",
+    "x11": """<?xml version="1.0" standalone="no"?>
+<kickstart>
+  <description>X Window System for the frontend console</description>
+  <package>XFree86</package>
+  <package>XFree86-libs</package>
+  <package>xterm</package>
+</kickstart>
+""",
+    "compute": """<?xml version="1.0" standalone="no"?>
+<kickstart>
+  <description>A Rocks compute node: a container for running parallel jobs</description>
+  <post seconds="1">chkconfig --del gpm</post>
+</kickstart>
+""",
+    "frontend": """<?xml version="1.0" standalone="no"?>
+<kickstart>
+  <description>The Rocks frontend: every service a cluster needs</description>
+  <post seconds="2">echo frontend &gt; /etc/rocks-release</post>
+</kickstart>
+""",
+    "web": """<?xml version="1.0" standalone="no"?>
+<kickstart>
+  <description>A standalone web server appliance (Table II, web-1-0)</description>
+</kickstart>
+""",
+    "nfs": """<?xml version="1.0" standalone="no"?>
+<kickstart>
+  <description>A standalone NFS appliance (Table II, nfs-0-0)</description>
+</kickstart>
+""",
+}
+
+
+#: Figure 3/4: appliances are roots; edges pull in shared modules.  The
+#: compute appliance's traversal includes compute, mpi and c-development
+#: exactly as the paper's Figure 4 walk-through describes.
+DEFAULT_GRAPH_XML = """<?xml version="1.0" standalone="no"?>
+<graph>
+  <edge from="compute" to="base"/>
+  <edge from="compute" to="mpi"/>
+  <edge from="compute" to="pbs-mom"/>
+  <edge from="compute" to="nis-client"/>
+  <edge from="compute" to="nfs-client"/>
+  <edge from="compute" to="rexec"/>
+  <edge from="compute" to="ekv"/>
+  <edge from="compute" to="myrinet"/>
+  <edge from="mpi" to="c-development"/>
+  <edge from="frontend" to="base"/>
+  <edge from="frontend" to="x11"/>
+  <edge from="frontend" to="mpi"/>
+  <edge from="frontend" to="dhcp-server"/>
+  <edge from="frontend" to="http-server"/>
+  <edge from="frontend" to="mysql-server"/>
+  <edge from="frontend" to="nfs-server"/>
+  <edge from="frontend" to="nis-server"/>
+  <edge from="frontend" to="pbs-server"/>
+  <edge from="frontend" to="rexec"/>
+  <edge from="frontend" to="install-server"/>
+  <edge from="nfs" to="base"/>
+  <edge from="nfs" to="nfs-server"/>
+  <edge from="nfs" to="nis-client"/>
+  <edge from="web" to="base"/>
+  <edge from="web" to="http-server"/>
+  <edge from="web" to="nis-client"/>
+</graph>
+"""
+
+
+def default_node_files() -> dict[str, NodeFile]:
+    """Parse the shipped node-file set."""
+    return {
+        name: NodeFile.from_xml(name, xml)
+        for name, xml in DEFAULT_NODE_XML.items()
+    }
+
+
+def default_graph() -> Graph:
+    """Parse the shipped graph file."""
+    return Graph.from_xml(DEFAULT_GRAPH_XML, name="default")

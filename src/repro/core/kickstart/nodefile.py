@@ -1,0 +1,146 @@
+"""XML *node files*: single-purpose software modules (§6.1, Figure 2).
+
+"A node file is a small single-purpose module that specifies the
+packages and per-package post configuration commands for a specific
+service."  Example from the paper (Figure 2): the DHCP-server module
+lists the ``dhcp`` package and an awk %post that pins dhcpd to eth0.
+
+The XML dialect is the paper's (tags are matched case-insensitively,
+since the figure uses ``<KICKSTART>`` while prose uses lowercase):
+
+* ``<kickstart>`` root
+* ``<description>`` free text
+* ``<package arch="i386,ia64">name</package>`` — zero or more; the
+  optional ``arch`` attribute restricts the package to listed
+  architectures (how one graph drives x86 *and* IA-64, §3.1)
+* ``<post arch=... seconds=...>script</post>`` — zero or more; the
+  ``seconds`` attribute is this reproduction's install-time model hook
+* ``<main>`` — optional kickstart main-section directives
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = ["NodeFile", "PackageRef", "PostFragment", "NodeFileError"]
+
+
+class NodeFileError(Exception):
+    """Malformed node-file XML."""
+
+
+def _archs(value: Optional[str]) -> Optional[frozenset[str]]:
+    if value is None or not value.strip():
+        return None
+    return frozenset(a.strip() for a in value.split(",") if a.strip())
+
+
+@dataclass(frozen=True)
+class PackageRef:
+    """A package listed by a node file, optionally arch-restricted."""
+
+    name: str
+    archs: Optional[frozenset[str]] = None  # None = all architectures
+
+    def applies_to(self, arch: str) -> bool:
+        return self.archs is None or arch in self.archs
+
+
+@dataclass(frozen=True)
+class PostFragment:
+    """One %post script chunk contributed by a node file."""
+
+    script: str
+    archs: Optional[frozenset[str]] = None
+    seconds: float = 1.0  # simulated execution time at reference CPU
+
+    def applies_to(self, arch: str) -> bool:
+        return self.archs is None or arch in self.archs
+
+
+@dataclass
+class NodeFile:
+    """A parsed node file: name + description + packages + %post chunks."""
+
+    name: str
+    description: str = ""
+    packages: list[PackageRef] = field(default_factory=list)
+    post: list[PostFragment] = field(default_factory=list)
+    main: dict[str, str] = field(default_factory=dict)
+
+    # -- parsing ---------------------------------------------------------------
+    @classmethod
+    def from_xml(cls, name: str, text: str) -> "NodeFile":
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as err:
+            raise NodeFileError(f"node file {name!r}: bad XML: {err}") from err
+        if root.tag.lower() != "kickstart":
+            raise NodeFileError(
+                f"node file {name!r}: root element must be <kickstart>, "
+                f"got <{root.tag}>"
+            )
+        node = cls(name=name)
+        for child in root:
+            tag = child.tag.lower()
+            if tag == "description":
+                node.description = (child.text or "").strip()
+            elif tag == "package":
+                pkg = (child.text or "").strip()
+                if not pkg:
+                    raise NodeFileError(f"node file {name!r}: empty <package>")
+                node.packages.append(
+                    PackageRef(pkg, _archs(child.get("arch")))
+                )
+            elif tag == "post":
+                node.post.append(
+                    PostFragment(
+                        script=(child.text or "").strip(),
+                        archs=_archs(child.get("arch")),
+                        seconds=float(child.get("seconds", "1.0")),
+                    )
+                )
+            elif tag == "main":
+                for directive in child:
+                    node.main[directive.tag.lower()] = (directive.text or "").strip()
+            else:
+                raise NodeFileError(
+                    f"node file {name!r}: unknown element <{child.tag}>"
+                )
+        return node
+
+    # -- rendering ---------------------------------------------------------------
+    def to_xml(self) -> str:
+        root = ET.Element("kickstart")
+        if self.description:
+            ET.SubElement(root, "description").text = self.description
+        for pkg in self.packages:
+            el = ET.SubElement(root, "package")
+            el.text = pkg.name
+            if pkg.archs is not None:
+                el.set("arch", ",".join(sorted(pkg.archs)))
+        for frag in self.post:
+            el = ET.SubElement(root, "post")
+            el.text = frag.script
+            if frag.archs is not None:
+                el.set("arch", ",".join(sorted(frag.archs)))
+            el.set("seconds", str(frag.seconds))
+        if self.main:
+            main = ET.SubElement(root, "main")
+            for key, value in self.main.items():
+                ET.SubElement(main, key).text = value
+        ET.indent(root)
+        return (
+            '<?xml version="1.0" standalone="no"?>\n'
+            + ET.tostring(root, encoding="unicode")
+            + "\n"
+        )
+
+    # -- queries ------------------------------------------------------------------
+    def package_names(self, arch: str) -> list[str]:
+        return [p.name for p in self.packages if p.applies_to(arch)]
+
+    def post_for(self, arch: str) -> list[PostFragment]:
+        return [f for f in self.post if f.applies_to(arch)]

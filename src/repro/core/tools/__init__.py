@@ -1,0 +1,31 @@
+"""The NPACI Rocks cluster tools (§6.3-6.4)."""
+
+from .cluster_fork import cluster_fork, cluster_kill, targets_from_query
+from .crash_cart import CrashCart, NoVideoSignal
+from .ekv import EKV_PORT, EkvConsole, EkvUnreachable
+from .insert_ethers import APPLIANCE_BASENAMES, InsertEthers
+from .scalable_cmds import cluster_lsmod, cluster_ps, cluster_rpm_q, cluster_uptime
+from .shoot_node import ShootReport, shoot_node, shoot_nodes
+from .upgrade import ReinstallCampaign, queue_cluster_reinstall
+
+__all__ = [
+    "cluster_fork",
+    "cluster_kill",
+    "targets_from_query",
+    "CrashCart",
+    "NoVideoSignal",
+    "EKV_PORT",
+    "EkvConsole",
+    "EkvUnreachable",
+    "APPLIANCE_BASENAMES",
+    "InsertEthers",
+    "cluster_lsmod",
+    "cluster_ps",
+    "cluster_rpm_q",
+    "cluster_uptime",
+    "ShootReport",
+    "shoot_node",
+    "shoot_nodes",
+    "ReinstallCampaign",
+    "queue_cluster_reinstall",
+]

@@ -1,0 +1,83 @@
+"""cluster-fork / cluster-kill: SQL-directed parallel commands (§6.4).
+
+"By simply adding an SQL interface to the script makes it more powerful
+as the user can intelligently direct the script to a subset of the
+nodes...  Any SQL query, including joins, can be fed to cluster-kill."
+
+The target list comes either from an explicit ``nodes`` list, an SQL
+``query`` returning hostnames (first column), or — the brute-force
+default the paper starts from — every name with the ``compute-`` prefix
+in /etc/hosts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ...scheduler import RemoteEnvironment, Rexec, RexecSession
+from ..frontend import RocksFrontend
+
+__all__ = ["cluster_fork", "cluster_kill", "targets_from_query"]
+
+_ROOT = RemoteEnvironment(user="root", uid=0, gid=0, cwd="/root")
+
+
+def targets_from_query(frontend: RocksFrontend, query: str) -> list[str]:
+    """Run an arbitrary SELECT; the first column is the hostname list."""
+    return [row[0] for row in frontend.db.query(query)]
+
+
+def _resolve_targets(
+    frontend: RocksFrontend,
+    nodes: Optional[Sequence[str]],
+    query: Optional[str],
+) -> list[str]:
+    if nodes is not None and query is not None:
+        raise ValueError("give either nodes or query, not both")
+    if nodes is not None:
+        return list(nodes)
+    if query is not None:
+        return targets_from_query(frontend, query)
+    # the paper's first-cut heuristic: grep compute- out of /etc/hosts
+    return [
+        line.split("\t")[1].split()[-1]
+        for line in frontend.hosts_file.splitlines()
+        if "\t" in line and line.split("\t")[1].startswith("compute-")
+    ]
+
+
+def cluster_fork(
+    frontend: RocksFrontend,
+    command,
+    nodes: Optional[Sequence[str]] = None,
+    query: Optional[str] = None,
+    environment: RemoteEnvironment = _ROOT,
+) -> RexecSession:
+    """Run ``command`` (a RemoteCommand callable) on the selected nodes."""
+    targets = _resolve_targets(frontend, nodes, query)
+    return frontend.rexec.run(targets, command, environment)
+
+
+def cluster_kill(
+    frontend: RocksFrontend,
+    process_name: str,
+    nodes: Optional[Sequence[str]] = None,
+    query: Optional[str] = None,
+) -> RexecSession:
+    """Kill every process matching ``process_name`` on the selected nodes.
+
+    The paper's §6.4 example:
+
+        cluster-kill --query="select nodes.name from nodes,memberships
+            where nodes.membership = memberships.id and
+            memberships.name = 'Compute'" bad-job
+    """
+
+    def killer(machine, proc):
+        victims = [p for p in machine.user_processes if p == process_name]
+        for v in victims:
+            machine.user_processes.remove(v)
+        proc.stdout.append(f"killed {len(victims)} {process_name!r} process(es)")
+        return 0
+
+    return cluster_fork(frontend, killer, nodes=nodes, query=query)

@@ -1,0 +1,117 @@
+"""insert-ethers: populate the cluster database from DHCP requests (§6.4).
+
+"Insert-ethers monitors syslog messages for DHCP requests from new hosts
+and when found, generates a hostname, determines the next free IP
+address, binds the hostname and IP address to its Ethernet MAC address,
+and inserts this information into the database.  Insert-ethers then
+rebuilds service-specific configuration files by running queries against
+the database, and restarting the respective services."
+
+Nodes are booted sequentially so that (rack, rank) tracks physical
+position — insert-ethers itself just numbers discoveries in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ...cluster import Machine
+from ...services import SyslogMessage
+from ..database import NodeRow
+from ..frontend import RocksFrontend
+
+__all__ = ["InsertEthers", "APPLIANCE_BASENAMES"]
+
+#: membership -> hostname prefix, mirroring Table II's naming
+APPLIANCE_BASENAMES = {
+    "Compute": "compute",
+    "NFS Servers": "nfs",
+    "Web Servers": "web",
+    "Ethernet Switches": "network",
+    "Power Units": "power",
+}
+
+
+class InsertEthers:
+    """The interactive integration tool, as a syslog subscriber."""
+
+    def __init__(
+        self,
+        frontend: RocksFrontend,
+        membership: str = "Compute",
+        cabinet: int = 0,
+        on_insert: Optional[Callable[[NodeRow, Machine], None]] = None,
+    ):
+        if membership not in APPLIANCE_BASENAMES:
+            raise ValueError(
+                f"unknown membership {membership!r}; "
+                f"choose from {sorted(APPLIANCE_BASENAMES)}"
+            )
+        self.frontend = frontend
+        self.membership = membership
+        self.cabinet = cabinet
+        self.on_insert = on_insert
+        self.integrated: list[NodeRow] = []
+        self._unsubscribe: Optional[Callable[[], None]] = None
+
+    @property
+    def basename(self) -> str:
+        return APPLIANCE_BASENAMES[self.membership]
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> "InsertEthers":
+        """Begin watching syslog (the admin left the tool running)."""
+        if self._unsubscribe is None:
+            self._unsubscribe = self.frontend.syslog.subscribe(
+                self._on_syslog, facility="dhcpd"
+            )
+        return self
+
+    def stop(self) -> None:
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    def __enter__(self) -> "InsertEthers":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- the integration path ------------------------------------------------------
+    def _on_syslog(self, msg: SyslogMessage) -> None:
+        if "DHCPDISCOVER from " not in msg.text:
+            return
+        mac = msg.text.split("DHCPDISCOVER from ")[1].split()[0]
+        if self.frontend.db.has_mac(mac):
+            return  # known node reinstalling; nothing to do
+        self.insert(mac)
+
+    def insert(self, mac: str) -> NodeRow:
+        """Adopt one new MAC: name it, give it an IP, regenerate configs."""
+        db = self.frontend.db
+        rank = db.next_rank(self.cabinet, self.membership)
+        name = f"{self.basename}-{self.cabinet}-{rank}"
+        try:
+            machine: Optional[Machine] = self.frontend.cluster.by_mac(mac)
+        except KeyError:
+            machine = None
+        row = db.add_node(
+            name,
+            membership=self.membership,
+            mac=mac,
+            rack=self.cabinet,
+            rank=rank,
+            cpus=machine.spec.cpu.count if machine else 1,
+            arch=machine.spec.cpu.arch.rpm_arch if machine else "i386",
+            os_dist=self.frontend.config.dist_name,
+            comment=f"{self.membership} node",
+        )
+        if machine is not None:
+            self.frontend.cluster.rename(machine, name)
+        self.frontend.regenerate_configs()
+        self.integrated.append(row)
+        if self.on_insert is not None and machine is not None:
+            self.on_insert(row, machine)
+        return row

@@ -1,0 +1,91 @@
+"""Scalable Unix commands over the cluster (§6.4's reference [21]).
+
+"We, like many people who run parallel machines [Ong, Lusk, Gropp], have
+our own set of rudimentary scripts to interactively control and monitor
+the nodes."  These are those scripts, built on cluster-fork and hence on
+REXEC: parallel ps/uptime/rpm-query with merged, host-tagged output, and
+the same ``--query`` SQL targeting as cluster-kill.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..frontend import RocksFrontend
+from .cluster_fork import cluster_fork
+
+__all__ = ["cluster_ps", "cluster_uptime", "cluster_rpm_q", "cluster_lsmod"]
+
+
+def cluster_ps(
+    frontend: RocksFrontend,
+    nodes: Optional[Sequence[str]] = None,
+    query: Optional[str] = None,
+) -> dict[str, list[str]]:
+    """Parallel ps: host -> running user processes."""
+
+    def ps(machine, proc):
+        for name in machine.user_processes:
+            proc.stdout.append(name)
+        return 0
+
+    session = cluster_fork(frontend, ps, nodes=nodes, query=query)
+    return {p.host: list(p.stdout) for p in session.processes}
+
+
+def cluster_uptime(
+    frontend: RocksFrontend,
+    nodes: Optional[Sequence[str]] = None,
+    query: Optional[str] = None,
+) -> dict[str, str]:
+    """Parallel uptime: host -> state/load one-liner."""
+
+    def uptime(machine, proc):
+        proc.stdout.append(
+            f"{machine.state.value}, {len(machine.user_processes)} procs, "
+            f"kernel {machine.kernel_version}"
+        )
+        return 0
+
+    session = cluster_fork(frontend, uptime, nodes=nodes, query=query)
+    return {p.host: p.stdout[0] for p in session.processes}
+
+
+def cluster_rpm_q(
+    frontend: RocksFrontend,
+    package: str,
+    nodes: Optional[Sequence[str]] = None,
+    query: Optional[str] = None,
+) -> dict[str, Optional[str]]:
+    """Parallel ``rpm -q <package>``: the §3.2 question, asked scalably.
+
+    ("What version of software X do I have on node Y?" — the question
+    the reinstall philosophy makes unnecessary, but handy to verify.)
+    """
+
+    def rpm_q(machine, proc):
+        pkg = machine.rpmdb.query(package)
+        proc.stdout.append(pkg.nevra if pkg else f"package {package} is not installed")
+        return 0 if pkg else 1
+
+    session = cluster_fork(frontend, rpm_q, nodes=nodes, query=query)
+    out: dict[str, Optional[str]] = {}
+    for p in session.processes:
+        out[p.host] = p.stdout[0] if p.exit_code == 0 else None
+    return out
+
+
+def cluster_lsmod(
+    frontend: RocksFrontend,
+    nodes: Optional[Sequence[str]] = None,
+    query: Optional[str] = None,
+) -> dict[str, list[str]]:
+    """Parallel lsmod: host -> loaded driver modules."""
+
+    def lsmod(machine, proc):
+        for mod in machine.loaded_modules:
+            proc.stdout.append(mod)
+        return 0
+
+    session = cluster_fork(frontend, lsmod, nodes=nodes, query=query)
+    return {p.host: list(p.stdout) for p in session.processes}

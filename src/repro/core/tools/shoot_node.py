@@ -1,0 +1,101 @@
+"""shoot-node: remote reinstallation with eKV monitoring (§6.3).
+
+"A compute node reinstalls itself when an administrator invokes
+shoot-node, or after a hard power cycle.  Shoot-node is a command-line
+tool that, over Ethernet, instructs a compute node to reboot itself into
+installation mode.  It monitors the node's progress and pops open an
+xterm window which displays the status of the Red Hat Kickstart
+installation."
+
+When the node does not answer over Ethernet, the §4 escalation applies:
+hard power cycle its PDU outlet (which itself forces the reinstall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from ...cluster import Machine, MachineState, PowerState
+from ...netsim import AllOf, Process
+from ..frontend import RocksFrontend
+from .ekv import EkvConsole
+
+__all__ = ["shoot_node", "shoot_nodes", "ShootReport"]
+
+
+@dataclass
+class ShootReport:
+    """One node's reinstall as observed by shoot-node."""
+
+    host: str
+    method: str  # "ethernet" | "pdu" | "failed"
+    started_at: float
+    finished_at: Optional[float] = None
+    ekv: Optional[EkvConsole] = None
+
+    @property
+    def seconds(self) -> float:
+        if self.finished_at is None:
+            raise RuntimeError(f"{self.host} has not finished reinstalling")
+        return self.finished_at - self.started_at
+
+    @property
+    def minutes(self) -> float:
+        return self.seconds / 60.0
+
+    @property
+    def ok(self) -> bool:
+        return self.finished_at is not None and self.method != "failed"
+
+
+def shoot_node(frontend: RocksFrontend, machine: Machine) -> Process:
+    """Reinstall one node; the process yields a :class:`ShootReport`."""
+    return frontend.env.process(
+        _shoot(frontend, machine), name=f"shoot-node:{machine.hostid}"
+    )
+
+
+def shoot_nodes(frontend: RocksFrontend, machines: list[Machine]) -> Process:
+    """Reinstall many nodes concurrently; yields a list of reports.
+
+    This is the §6.3 experiment: N simultaneous reinstalls against one
+    install server.
+    """
+    env = frontend.env
+
+    def run_all() -> Generator:
+        procs = [shoot_node(frontend, m) for m in machines]
+        reports = yield AllOf(env, procs)
+        return list(reports)
+
+    return env.process(run_all(), name=f"shoot-nodes:x{len(machines)}")
+
+
+def _shoot(frontend: RocksFrontend, machine: Machine) -> Generator:
+    env = frontend.env
+    report = ShootReport(
+        host=machine.hostid, method="ethernet", started_at=env.now
+    )
+    reachable = (
+        machine.state is MachineState.UP
+        and frontend.cluster.ethernet_reachable(frontend.machine, machine)
+    )
+    if reachable:
+        # "over Ethernet, instructs a compute node to reboot itself into
+        # installation mode"
+        machine.request_reinstall()
+    else:
+        pdu_outlet = frontend.cluster.pdu_for(machine)
+        if pdu_outlet is None:
+            report.method = "failed"
+            return report
+        pdu, outlet = pdu_outlet
+        report.method = "pdu"
+        yield env.process(pdu.hard_cycle(outlet))
+
+    # "pops open an xterm window which displays the status" — the eKV view
+    report.ekv = EkvConsole(frontend.cluster, machine)
+    yield machine.wait_for_state(MachineState.UP)
+    report.finished_at = env.now
+    return report

@@ -1,0 +1,82 @@
+"""Rolling cluster upgrade through the batch queue (§5).
+
+"Software on production machines can be systematically and continually
+upgraded...  After the updates are validated on a small test cluster,
+the production system can be upgraded by submitting a 'reinstall
+cluster' job to Maui, as not to disturb any running applications.  Once
+the reinstallation is complete, the next job will have a known,
+consistent software base."
+
+The implementation submits one high-priority *system* job per compute
+node; each job claims its node only when the node is free (running
+applications are never disturbed), reinstalls it via shoot-node, and
+releases it with the new software base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from ...scheduler import Job
+from ..frontend import RocksFrontend
+from .shoot_node import shoot_node
+
+__all__ = ["queue_cluster_reinstall", "ReinstallCampaign"]
+
+#: generous per-node walltime bound; the job completes early when the
+#: node is back up (a reinstall is 5-10 minutes, §5)
+REINSTALL_WALLTIME = 3600.0
+
+
+@dataclass
+class ReinstallCampaign:
+    """Tracks one queued 'reinstall cluster' operation."""
+
+    jobs: list[Job] = field(default_factory=list)
+    reports: list = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return all(j.done is not None and j.done.triggered for j in self.jobs)
+
+    def wait_event(self, env):
+        from ...netsim import AllOf
+
+        return AllOf(env, [j.done for j in self.jobs])
+
+
+def queue_cluster_reinstall(
+    frontend: RocksFrontend,
+    priority: int = 100,
+    owner: str = "root",
+) -> ReinstallCampaign:
+    """Submit per-node reinstall system jobs for every compute node."""
+    campaign = ReinstallCampaign()
+    for machine in frontend.compute_machines():
+        job = frontend.pbs.qsub(
+            owner=owner,
+            name=f"reinstall-{machine.hostid}",
+            nodes=1,
+            walltime=REINSTALL_WALLTIME,
+            priority=priority,
+            system=True,
+            on_start=_make_reinstaller(frontend, machine, campaign),
+            required_nodes=[machine.hostid],
+        )
+        campaign.jobs.append(job)
+    return campaign
+
+
+def _make_reinstaller(frontend: RocksFrontend, machine, campaign: ReinstallCampaign):
+    env = frontend.env
+
+    def on_start(job: Job) -> None:
+        def run() -> Generator:
+            report = yield shoot_node(frontend, machine)
+            campaign.reports.append(report)
+            frontend.pbs.finish_job(job)
+
+        env.process(run(), name=f"reinstall-job:{machine.hostid}")
+
+    return on_start

@@ -1,0 +1,36 @@
+"""The simulated anaconda/Kickstart installer substrate."""
+
+from .anaconda import InstallReport, InstallSource, KickstartInstaller
+from .hwdetect import DetectedHardware, probe
+from .partition import PartitionError, apply_plan
+from .phases import (
+    DEFAULT_CALIBRATION,
+    SINGLE_STREAM_HTTP_RATE,
+    InstallCalibration,
+)
+from .profile import (
+    InstallProfile,
+    PartitionPlan,
+    PartitionRequest,
+    PostScript,
+)
+from .screen import InstallProgress, render_install_screen
+
+__all__ = [
+    "InstallReport",
+    "InstallSource",
+    "KickstartInstaller",
+    "DetectedHardware",
+    "probe",
+    "PartitionError",
+    "apply_plan",
+    "DEFAULT_CALIBRATION",
+    "SINGLE_STREAM_HTTP_RATE",
+    "InstallCalibration",
+    "InstallProfile",
+    "PartitionPlan",
+    "PartitionRequest",
+    "PostScript",
+    "InstallProgress",
+    "render_install_screen",
+]

@@ -1,0 +1,244 @@
+"""The simulated Red Hat installer (anaconda) driven by a kickstart.
+
+This is the process a node runs while in the ``INSTALLING`` state:
+
+1. bring up Ethernet and DHCP (retrying until the cluster database knows
+   the node — which is exactly the window insert-ethers uses to adopt
+   new hardware);
+2. fetch the dynamically generated kickstart file over HTTP (§6.1);
+3. autodetect hardware, partition disks (non-root preserved);
+4. pull each RPM over HTTP and install it — the per-package
+   *download-then-unpack* interleaving is what makes install traffic
+   bursty (~14 % wire duty cycle) and lets a single 100 Mbit server
+   feed many concurrent reinstalls (Table I);
+5. run %post scripts, including the Myrinet GM source rebuild on nodes
+   with Myrinet hardware (20-30 % time penalty, §6.3);
+6. hand back to the lifecycle, which reboots into the fresh OS.
+
+Every line of progress goes to the machine console, where eKV makes it
+remotely visible (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from ..cluster.node import Machine
+from ..kernel import MyrinetDriver
+from ..netsim import Interrupt, Process
+from ..rpm import BuildError
+from ..services import DhcpLease, DhcpServer, ServiceError
+from .hwdetect import probe
+from .partition import apply_plan
+from .phases import DEFAULT_CALIBRATION, InstallCalibration
+from .profile import InstallProfile
+from .screen import InstallProgress
+
+__all__ = ["KickstartInstaller", "InstallReport", "InstallSource"]
+
+
+class InstallSource:
+    """Protocol the installer pulls from (an InstallServer or LoadBalancer).
+
+    Must provide ``fetch_kickstart(client) -> Process`` whose response
+    body is an :class:`InstallProfile`, and
+    ``fetch_package(client, dist, pkg, max_rate) -> Process``.
+    """
+
+
+@dataclass
+class InstallReport:
+    """Timings and counters for one completed installation."""
+
+    host: str
+    started_at: float
+    finished_at: float = 0.0
+    ip: Optional[str] = None
+    n_packages: int = 0
+    bytes_transferred: float = 0.0
+    myrinet_rebuilt: bool = False
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def total_minutes(self) -> float:
+        return self.total_seconds / 60.0
+
+
+class KickstartInstaller:
+    """Builds install-driver processes for machines (Machine.install_driver)."""
+
+    def __init__(
+        self,
+        dhcp: DhcpServer,
+        source,
+        calibration: InstallCalibration = DEFAULT_CALIBRATION,
+        myrinet: MyrinetDriver = MyrinetDriver(),
+        on_progress: Optional[Callable[[Machine, str], None]] = None,
+    ):
+        self.dhcp = dhcp
+        self.source = source
+        self.cal = calibration
+        self.myrinet = myrinet
+        self.on_progress = on_progress
+        self.reports: list[InstallReport] = []
+
+    def attach(self, machine: Machine) -> None:
+        """Wire this installer in as the machine's install driver."""
+        machine.install_driver = self.driver
+
+    # -- the install process ----------------------------------------------------
+    def driver(self, machine: Machine) -> Generator:
+        env = machine.env
+        cal = self.cal
+        report = InstallReport(host=machine.hostid, started_at=env.now)
+        fetch: Optional[Process] = None
+
+        def say(line: str) -> None:
+            machine.console_write(line)
+            if self.on_progress is not None:
+                self.on_progress(machine, line)
+
+        def mark(phase: str, t0: float) -> None:
+            report.phase_seconds[phase] = (
+                report.phase_seconds.get(phase, 0.0) + env.now - t0
+            )
+
+        try:
+            say("Red Hat Linux (C) 2000 Red Hat, Inc. -- Install System")
+            # -- phase: DHCP -----------------------------------------------------
+            t0 = env.now
+            lease = yield from self._dhcp_loop(machine, say)
+            machine.ip = lease.ip
+            report.ip = lease.ip
+            mark("dhcp", t0)
+
+            # -- phase: kickstart fetch ------------------------------------------
+            t0 = env.now
+            fetch = self.source.fetch_kickstart(machine.mac)
+            resp = yield fetch
+            fetch = None
+            profile: InstallProfile = resp.body
+            if not isinstance(profile, InstallProfile):
+                raise TypeError(
+                    f"kickstart CGI returned {type(profile).__name__}, "
+                    "expected InstallProfile"
+                )
+            say(f"retrieved kickstart ({profile.appliance}, {profile.n_packages} packages)")
+            mark("kickstart", t0)
+
+            # -- phase: hardware detection + partitioning ----------------------------
+            t0 = env.now
+            hw = probe(machine.spec)
+            yield env.timeout(cal.hwdetect_seconds)
+            say(f"loaded modules: {', '.join(hw.modules)}")
+            formatted = apply_plan(machine, profile.partitions)
+            yield env.timeout(cal.format_seconds)
+            say(f"formatted {', '.join(formatted)} on {hw.disk_device}")
+            mark("partition", t0)
+
+            # -- phase: package installation ---------------------------------------
+            t0 = env.now
+            machine.rpmdb.wipe()
+            total = profile.n_packages
+            total_bytes = profile.total_bytes
+            done_bytes = 0.0
+            progress = InstallProgress(
+                total_packages=total,
+                total_bytes=total_bytes,
+                started_at=env.now,
+                now=env.now,
+            )
+            machine.install_progress = progress
+            for i, pkg in enumerate(profile.packages):
+                progress.current_name = pkg.nvr
+                progress.current_size = pkg.size
+                progress.current_summary = pkg.summary
+                progress.now = env.now
+                fetch = self.source.fetch_package(
+                    machine.mac,
+                    profile.dist_name,
+                    pkg,
+                    max_rate=cal.single_stream_rate,
+                )
+                yield fetch
+                fetch = None
+                yield env.timeout(
+                    cal.cpu_install_seconds(pkg.size, hw.relative_cpu_speed)
+                )
+                machine.rpmdb.install(pkg, nodeps=True)
+                done_bytes += pkg.size
+                progress.done_packages = i + 1
+                progress.done_bytes = done_bytes
+                progress.now = env.now
+                if i % 20 == 0 or i == total - 1:
+                    say(
+                        f"Package Installation: {pkg.nvr} "
+                        f"[{i + 1}/{total}] "
+                        f"{done_bytes / 1e6:.0f}M/{total_bytes / 1e6:.0f}M"
+                    )
+            report.n_packages = total
+            report.bytes_transferred = done_bytes
+            kernel = machine.rpmdb.query("kernel")
+            if kernel is not None:
+                machine.kernel_version = f"{kernel.version}-{kernel.release}"
+            mark("packages", t0)
+
+            # -- phase: post configuration ------------------------------------------
+            t0 = env.now
+            for script in profile.post_scripts:
+                yield env.timeout(script.seconds / hw.relative_cpu_speed)
+                if script.action is not None:
+                    script.action(machine)
+                say(f"%post: {script.name}")
+            yield env.timeout(cal.post_config_seconds / hw.relative_cpu_speed)
+            mark("post", t0)
+
+            # -- phase: Myrinet driver rebuild (first-boot, counted in total) ---------
+            if hw.needs_myrinet_rebuild:
+                t0 = env.now
+                yield env.timeout(self.myrinet.build_seconds(hw.relative_cpu_speed))
+                _pkg, module = self.myrinet.rebuild(
+                    machine.kernel_version or "2.4.9-5",
+                    available=list(machine.rpmdb),
+                )
+                machine.loaded_modules.append(module.name)
+                report.myrinet_rebuilt = True
+                say(f"rebuilt and loaded {module}")
+                mark("myrinet", t0)
+
+            report.finished_at = env.now
+            self.reports.append(report)
+            say(
+                f"installation complete: {report.total_seconds:.0f}s, "
+                f"{report.n_packages} packages, {report.bytes_transferred / 1e6:.0f} MB"
+            )
+            return report
+        except Interrupt:
+            # Machine died under us: abort any in-flight HTTP transfer.
+            if fetch is not None and fetch.is_alive:
+                fetch.interrupt("installation aborted")
+            say("installation aborted")
+            raise
+
+    def _dhcp_loop(self, machine: Machine, say) -> Generator:
+        """DISCOVER until the database knows us (insert-ethers window)."""
+        env = machine.env
+        attempt = 0
+        while True:
+            yield env.timeout(self.cal.dhcp_seconds)
+            attempt += 1
+            try:
+                lease: Optional[DhcpLease] = self.dhcp.discover(machine.mac)
+            except ServiceError:
+                lease = None
+            if lease is not None:
+                say(f"eth0: bound to {lease.ip} ({lease.hostname})")
+                return lease
+            if attempt == 1:
+                say("eth0: DHCPDISCOVER — waiting to be inserted into the database")
+            yield env.timeout(self.cal.dhcp_retry_seconds)

@@ -1,0 +1,53 @@
+"""Hardware autodetection — what kickstart does so Rocks doesn't have to.
+
+§1 of the paper: "we can abstract out many of the hardware differences
+and allow the Kickstart process to autodetect the correct hardware
+modules to load (e.g., disk subsystem type: SCSI, IDE, integrated RAID
+adapter; Ethernet interfaces; and high-speed network interfaces)."
+§3.3 names replicating this detection as the trap proprietary installers
+fall into; Rocks rides the distribution's.  The probe here reads the
+:class:`~repro.cluster.hardware.MachineSpec` and reports which driver
+modules the installer must load — including whether a Myrinet source
+rebuild will be needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.hardware import MachineSpec, NicKind
+
+__all__ = ["DetectedHardware", "probe"]
+
+
+@dataclass(frozen=True)
+class DetectedHardware:
+    """The probe result anaconda acts on."""
+
+    cpu_arch: str
+    relative_cpu_speed: float
+    disk_device: str
+    disk_module: str
+    ethernet_module: str
+    needs_myrinet_rebuild: bool
+
+    @property
+    def modules(self) -> tuple[str, ...]:
+        """Driver modules to load, in load order (storage before net)."""
+        mods = (self.disk_module, self.ethernet_module)
+        # The GM module is NOT loadable at install time — it must be
+        # rebuilt from source against the freshly-installed kernel.
+        return mods
+
+
+def probe(spec: MachineSpec) -> DetectedHardware:
+    """Autodetect a machine's hardware from its spec."""
+    nic_kinds = {n.kind for n in spec.nics("00:00:00:00:00:00")}
+    return DetectedHardware(
+        cpu_arch=spec.cpu.arch.rpm_arch,
+        relative_cpu_speed=spec.cpu.relative_speed,
+        disk_device=spec.disk.device,
+        disk_module=spec.disk.controller.driver_module,
+        ethernet_module=NicKind.ETHERNET.driver_module,
+        needs_myrinet_rebuild=NicKind.MYRINET in nic_kinds,
+    )

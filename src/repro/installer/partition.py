@@ -1,0 +1,52 @@
+"""Disk partitioning with the Rocks preservation rule.
+
+§6.3: "all non-root partitions are preserved over reinstalls, and
+therefore, can be used as persistent storage."  The partitioner
+formats the root (and swap) on every install but re-adopts any
+existing non-root partition, keeping its data intact.
+"""
+
+from __future__ import annotations
+
+from ..cluster.node import Machine, Partition
+from .profile import PartitionPlan
+
+__all__ = ["apply_plan", "PartitionError"]
+
+
+class PartitionError(Exception):
+    """The requested layout cannot fit on the machine's disk."""
+
+
+def apply_plan(machine: Machine, plan: PartitionPlan) -> list[str]:
+    """Partition/format ``machine`` per ``plan``; returns formatted names.
+
+    Existing non-root partitions named in the plan are preserved (data
+    kept); the root and swap are always (re)formatted; partitions on disk
+    but absent from the plan are left alone as well — reinstalling must
+    never eat a user's scratch space.
+    """
+    disk_mb = machine.spec.disk.size_gb * 1024
+    fixed = sum(r.size_mb for r in plan.requests if not r.grow)
+    if fixed > disk_mb:
+        raise PartitionError(
+            f"plan needs {fixed} MB but {machine.hostid} has {disk_mb} MB"
+        )
+    plan.root()  # validates a root exists
+
+    grow_share = disk_mb - fixed
+    n_grow = sum(1 for r in plan.requests if r.grow)
+    formatted: list[str] = []
+    for req in plan.requests:
+        size = req.size_mb if not req.grow else max(grow_share // n_grow, 1)
+        existing = machine.partitions.get(req.mountpoint)
+        if req.is_root or req.mountpoint == "swap":
+            machine.partitions[req.mountpoint] = Partition(
+                req.mountpoint, size, is_root=req.is_root
+            )
+            formatted.append(req.mountpoint)
+        elif existing is None:
+            machine.partitions[req.mountpoint] = Partition(req.mountpoint, size)
+            formatted.append(req.mountpoint)
+        # else: preserved — not formatted, data intact
+    return formatted

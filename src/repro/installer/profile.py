@@ -1,0 +1,95 @@
+"""The installer's input contract: what a generated kickstart resolves to.
+
+The kickstart CGI on the frontend compiles XML node files + database
+state into a Red Hat-compliant kickstart *text* file; anaconda then
+resolves the %packages list against the distribution's metadata.  An
+:class:`InstallProfile` is that resolved form — ordered packages,
+partition scheme, and post-install scripts — which the simulated
+installer executes.  Keeping the contract here (in the substrate) lets
+the Rocks core produce profiles without the installer depending on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..rpm import Package
+
+__all__ = ["InstallProfile", "PostScript", "PartitionPlan", "PartitionRequest"]
+
+
+@dataclass(frozen=True)
+class PartitionRequest:
+    """One ``part`` directive from the kickstart main section."""
+
+    mountpoint: str
+    size_mb: int
+    grow: bool = False
+
+    @property
+    def is_root(self) -> bool:
+        return self.mountpoint == "/"
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """The node's disk layout.  Non-root partitions persist (§6.3)."""
+
+    requests: tuple[PartitionRequest, ...]
+
+    @classmethod
+    def default(cls) -> "PartitionPlan":
+        """The Rocks compute-node default: /, swap, and persistent /state."""
+        return cls(
+            (
+                PartitionRequest("/", 4096),
+                PartitionRequest("swap", 1024),
+                PartitionRequest("/state/partition1", 1, grow=True),
+            )
+        )
+
+    def root(self) -> PartitionRequest:
+        for req in self.requests:
+            if req.is_root:
+                return req
+        raise ValueError("partition plan has no root filesystem")
+
+
+PostAction = Callable[[object], None]  # receives the Machine
+
+
+@dataclass(frozen=True)
+class PostScript:
+    """A %post fragment: label, simulated duration, optional side effect.
+
+    ``seconds`` is wall time on the 733 MHz reference CPU; the installer
+    scales it by the node's relative speed.  ``rebuilds_myrinet`` marks
+    the GM source-rebuild step so its cost can be modelled (and ablated)
+    separately.
+    """
+
+    name: str
+    seconds: float = 1.0
+    action: Optional[PostAction] = None
+    rebuilds_myrinet: bool = False
+
+
+@dataclass
+class InstallProfile:
+    """Everything anaconda needs to lay down one node."""
+
+    dist_name: str
+    packages: list[Package]
+    partitions: PartitionPlan = field(default_factory=PartitionPlan.default)
+    post_scripts: list[PostScript] = field(default_factory=list)
+    kickstart_text: str = ""
+    appliance: str = "compute"
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(p.size for p in self.packages)
+
+    @property
+    def n_packages(self) -> int:
+        return len(self.packages)

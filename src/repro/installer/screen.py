@@ -1,0 +1,102 @@
+"""Figure 7: the anaconda "Package Installation" screen over eKV.
+
+The paper's Figure 7 shows shoot-node's xterm displaying Red Hat's
+installer screen redirected over Ethernet: the current package's
+name/size/summary and a Total/Completed/Remaining table of packages,
+bytes and time.  The installer keeps a live progress structure on the
+machine; this module renders it in the same layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["InstallProgress", "render_install_screen"]
+
+
+@dataclass
+class InstallProgress:
+    """Live state of the package-installation phase on one node."""
+
+    current_name: str = ""
+    current_size: int = 0
+    current_summary: str = ""
+    total_packages: int = 0
+    done_packages: int = 0
+    total_bytes: float = 0.0
+    done_bytes: float = 0.0
+    started_at: float = 0.0
+    now: float = 0.0
+
+    @property
+    def remaining_packages(self) -> int:
+        return self.total_packages - self.done_packages
+
+    @property
+    def remaining_bytes(self) -> float:
+        return self.total_bytes - self.done_bytes
+
+    @property
+    def elapsed(self) -> float:
+        return self.now - self.started_at
+
+    @property
+    def eta(self) -> float:
+        """Time remaining at the observed rate (the screen's third row)."""
+        if self.done_bytes <= 0:
+            return 0.0
+        rate = self.done_bytes / max(self.elapsed, 1e-9)
+        return self.remaining_bytes / rate
+
+
+def _hms(seconds: float) -> str:
+    seconds = max(int(seconds), 0)
+    h, rest = divmod(seconds, 3600)
+    m, s = divmod(rest, 60)
+    return f"{h}:{m:02d}.{s:02d}"
+
+
+def _mb(nbytes: float) -> str:
+    if nbytes >= 1e6:
+        return f"{nbytes / 1e6:.0f}M"
+    return f"{nbytes / 1e3:.0f}k"
+
+
+def render_install_screen(progress: InstallProgress, width: int = 66) -> str:
+    """Render the Figure 7 screen as text."""
+    inner = width - 2
+    top = "+" + "=" * inner + "+"
+    title = "Package Installation"
+
+    def line(text: str = "") -> str:
+        return "|" + text[:inner].ljust(inner) + "|"
+
+    rows = [
+        top,
+        line(title.center(inner)),
+        line(),
+        line(f"  Name   : {progress.current_name}"),
+        line(f"  Size   : {_mb(progress.current_size)}"),
+        line(f"  Summary: {progress.current_summary[: inner - 11]}"),
+        line(),
+        line(f"  {'':<10}{'Packages':>10}{'Bytes':>10}{'Time':>12}"),
+        line(
+            f"  {'Total':<10}{progress.total_packages:>10}"
+            f"{_mb(progress.total_bytes):>10}"
+            f"{_hms(progress.elapsed + progress.eta):>12}"
+        ),
+        line(
+            f"  {'Completed':<10}{progress.done_packages:>10}"
+            f"{_mb(progress.done_bytes):>10}"
+            f"{_hms(progress.elapsed):>12}"
+        ),
+        line(
+            f"  {'Remaining':<10}{progress.remaining_packages:>10}"
+            f"{_mb(progress.remaining_bytes):>10}"
+            f"{_hms(progress.eta):>12}"
+        ),
+        top,
+        " <Tab>/<Alt-Tab> between elements | <Space> selects | <F12> next screen",
+    ]
+    return "\n".join(rows)

@@ -1,0 +1,16 @@
+"""Kernel substrate: module versioning, ``make rpm``, the GM driver."""
+
+from .kernelpkg import STOCK_KERNEL_VERSION, KernelConfig, make_rpm
+from .modules import KernelModule, ModuleVersionError, RunningKernel
+from .myrinet import GM_BUILD_SECONDS_AT_733MHZ, MyrinetDriver
+
+__all__ = [
+    "STOCK_KERNEL_VERSION",
+    "KernelConfig",
+    "make_rpm",
+    "KernelModule",
+    "ModuleVersionError",
+    "RunningKernel",
+    "GM_BUILD_SECONDS_AT_733MHZ",
+    "MyrinetDriver",
+]

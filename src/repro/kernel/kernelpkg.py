@@ -1,0 +1,54 @@
+"""Custom kernel packaging: the ``make rpm`` workflow.
+
+§3.3 of the paper: Rocks discourages kernel customisation (the stock Red
+Hat kernel "has served us well"), but supports it — the administrator
+crafts a ``.config``, runs ``make rpm`` (Red Hat's addition to the
+kernel makefile), copies the binary kernel package to the frontend and
+binds it into a new distribution with rocks-dist, then reinstalls the
+desired nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rpm import MB, Package, SpecFile, rpmbuild
+
+__all__ = ["KernelConfig", "make_rpm", "STOCK_KERNEL_VERSION"]
+
+#: the Red Hat 7.2 stock kernel our synthetic tree ships
+STOCK_KERNEL_VERSION = "2.4.9"
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """A kernel ``.config``: version plus the options that matter to us."""
+
+    version: str = STOCK_KERNEL_VERSION
+    release: str = "custom.1"
+    smp: bool = True
+    module_versioning: bool = True  # Red Hat default
+    extra_options: tuple[str, ...] = ()
+
+    @property
+    def full_version(self) -> str:
+        return f"{self.version}-{self.release}"
+
+
+def make_rpm(config: KernelConfig, available: list[Package]) -> Package:
+    """``make rpm`` in a prepared kernel tree: produce a kernel binary RPM.
+
+    ``available`` must contain the toolchain (gcc, make) and the kernel
+    source — the same prerequisites a real build host needs.
+    """
+    spec = SpecFile(
+        name="kernel",
+        version=config.version,
+        release=config.release,
+        summary=f"Custom kernel {config.full_version}"
+        + (" SMP" if config.smp else ""),
+        build_requires=("gcc", "make", "kernel-source"),
+        binary_size=int(12 * MB),
+    )
+    built = rpmbuild(spec, available=available)
+    return built[0]

@@ -1,0 +1,63 @@
+"""Kernel module versioning.
+
+§6.3: "Because the Linux kernel has module versioning enabled (the
+default for Red Hat compiled kernels), it will only load modules that
+were compiled for that particular kernel version."  This is the reason
+the Myrinet driver must be rebuilt from source on every node: keeping
+N binary driver packages for N kernels does not scale when the stable
+tree saw 16 updates in a year.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["KernelModule", "RunningKernel", "ModuleVersionError"]
+
+
+class ModuleVersionError(Exception):
+    """insmod refused: module built for a different kernel version."""
+
+
+@dataclass(frozen=True)
+class KernelModule:
+    """A compiled .o/.ko: name plus the kernel version it targets."""
+
+    name: str
+    built_for: str  # kernel version string, e.g. "2.4.9-31"
+
+    def __str__(self) -> str:
+        return f"{self.name}.o ({self.built_for})"
+
+
+class RunningKernel:
+    """The kernel booted on a node, with its loaded-module table."""
+
+    def __init__(self, version: str, module_versioning: bool = True):
+        self.version = version
+        self.module_versioning = module_versioning
+        self._loaded: dict[str, KernelModule] = {}
+
+    def insmod(self, module: KernelModule) -> None:
+        """Load a module; enforces version match when versioning is on."""
+        if self.module_versioning and module.built_for != self.version:
+            raise ModuleVersionError(
+                f"{module.name}: built for {module.built_for}, "
+                f"running {self.version}"
+            )
+        if module.name in self._loaded:
+            raise ModuleVersionError(f"{module.name} is already loaded")
+        self._loaded[module.name] = module
+
+    def rmmod(self, name: str) -> KernelModule:
+        try:
+            return self._loaded.pop(name)
+        except KeyError:
+            raise ModuleVersionError(f"{name} is not loaded") from None
+
+    def lsmod(self) -> list[str]:
+        return sorted(self._loaded)
+
+    def is_loaded(self, name: str) -> bool:
+        return name in self._loaded

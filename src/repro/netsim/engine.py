@@ -1,0 +1,369 @@
+"""Deterministic discrete-event simulation engine.
+
+This is the clock that everything else in the reproduction runs on: node
+boot sequences, package downloads, service restarts, and scheduler ticks
+are all processes scheduled here.  The design is a deliberately small
+subset of the SimPy process model:
+
+* an :class:`Environment` owns a priority queue of events,
+* a :class:`Process` wraps a Python generator; the generator *yields*
+  events and is resumed when they trigger,
+* :class:`Timeout` is an event that triggers after simulated seconds,
+* processes may be interrupted (:meth:`Process.interrupt`), which raises
+  :class:`Interrupt` inside the generator — this is how a hard power
+  cycle kills a running installation.
+
+Determinism matters: benchmark tables must be reproducible run-to-run,
+so ties in the event queue are broken by a monotonically increasing
+sequence number, never by object identity.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal uses of the engine (e.g. yielding a non-event)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when :meth:`Process.interrupt` is called.
+
+    ``cause`` carries an arbitrary payload describing why the process was
+    interrupted (for example ``"hard power cycle"``).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events start *pending*; :meth:`succeed` or :meth:`fail` moves them to
+    *triggered* and schedules their callbacks to run at the current
+    simulation time.  A process that yields a pending event is suspended
+    until the event triggers.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_scheduled")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._scheduled = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimulationError("event has not triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event has not triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional value."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to be raised in waiters."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = tuple(events)
+        self._n_done = 0
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+            if ev.triggered:
+                self._on_child(ev)
+            else:
+                ev.callbacks.append(self._on_child)
+        if not self._triggered:
+            self._check(initial=True)
+
+    def _on_child(self, ev: Event) -> None:
+        self._n_done += 1
+        if not ev._ok and not self._triggered:
+            self.fail(ev._value)
+            return
+        if not self._triggered:
+            self._check(initial=False)
+
+    def _check(self, initial: bool) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers once *all* child events have triggered."""
+
+    __slots__ = ()
+
+    def _check(self, initial: bool) -> None:
+        if self._n_done == len(self.events):
+            self.succeed(tuple(ev._value for ev in self.events))
+
+
+class AnyOf(_Condition):
+    """Triggers once *any* child event has triggered."""
+
+    __slots__ = ()
+
+    def _check(self, initial: bool) -> None:
+        if self._n_done >= 1 and len(self.events) > 0:
+            for ev in self.events:
+                if ev.triggered:
+                    self.succeed(ev._value)
+                    return
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running process: wraps a generator that yields events.
+
+    The Process is itself an Event that triggers (with the generator's
+    return value) when the generator finishes — so processes can wait on
+    other processes.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on", "_interrupts")
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator, name: str = ""):
+        super().__init__(env)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"process target must be a generator, got {generator!r}")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        self._interrupts: list[Interrupt] = []
+        # Bootstrap: resume the generator at the current time.
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process generator.
+
+        Interrupting an already-finished process is an error, as is a
+        process interrupting itself.
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        if self.env._active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        exc = Interrupt(cause)
+        self._interrupts.append(exc)
+        # Detach from whatever event we were waiting on and wake up now.
+        target = self._waiting_on
+        if target is not None and not target._triggered:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        wake = Event(self.env)
+        wake.callbacks.append(self._resume)
+        wake.succeed(None)
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return
+        self._waiting_on = None
+        self.env._active_process = self
+        try:
+            if self._interrupts:
+                exc = self._interrupts.pop(0)
+                nxt = self.generator.throw(exc)
+            elif event._ok:
+                nxt = self.generator.send(event._value)
+            else:
+                nxt = self.generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # Generator let the interrupt escape: treat as abnormal end.
+            self.env._active_process = None
+            self.succeed(None)
+            return
+        except BaseException as err:
+            self.env._active_process = None
+            self.fail(err)
+            return
+        self.env._active_process = None
+        if not isinstance(nxt, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {nxt!r}; processes must yield events"
+            )
+        if nxt.env is not self.env:
+            raise SimulationError("process yielded an event from a different environment")
+        if self._interrupts:
+            # An interrupt arrived while we were deciding what to wait on;
+            # deliver it immediately instead of blocking.
+            wake = Event(self.env)
+            wake.callbacks.append(self._resume)
+            wake.succeed(None)
+            return
+        self._waiting_on = nxt
+        if nxt._triggered:
+            if nxt._scheduled:
+                nxt.callbacks.append(self._resume)
+            else:  # already dispatched: resume via a fresh immediate event
+                wake = Event(self.env)
+                wake.callbacks.append(self._resume)
+                wake.succeed(nxt._value) if nxt._ok else wake.fail(nxt._value)
+        else:
+            nxt.callbacks.append(self._resume)
+
+
+class Environment:
+    """Holds simulated time and the pending event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories -------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        event._scheduled = True
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+
+    def step(self) -> None:
+        """Dispatch the single next event."""
+        if not self._queue:
+            raise SimulationError("no more events to step through")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, []
+        event._scheduled = False
+        for cb in callbacks:
+            cb(event)
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event triggers.
+
+        ``until`` may be a simulated-time deadline (float) or an Event; when
+        an Event is given, run() returns its value (raising its exception if
+        it failed).
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            while not stop_event.triggered:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited event triggered"
+                    )
+                self.step()
+            if stop_event._ok:
+                return stop_event._value
+            raise stop_event._value
+        deadline = float("inf") if until is None else float(until)
+        while self._queue:
+            when = self._queue[0][0]
+            if when > deadline:
+                break
+            self.step()
+        if deadline != float("inf"):
+            self._now = max(self._now, deadline)
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf when the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")

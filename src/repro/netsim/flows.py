@@ -1,0 +1,320 @@
+"""Fluid-flow bandwidth model with max-min fair sharing.
+
+Package downloads during a Kickstart reinstall are modelled as *flows*:
+a number of bytes moving along a path of capacity-limited links.  When
+several nodes reinstall concurrently their flows share the install
+server's uplink, and the classic **progressive-filling max-min fair**
+allocation decides who gets what.  This is the mechanism behind Table I
+of the paper: with few nodes every flow gets its full demand, and past
+the server's saturation point (~7 concurrent full-speed installs on
+100 Mbit) per-flow rates drop and reinstall times stretch.
+
+Rates are recomputed from scratch whenever a flow starts or finishes
+(an O(links x flows) operation per change, fine at cluster scale), and
+between recomputations every flow progresses linearly — so completion
+times can be scheduled exactly, keeping the simulation deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Optional
+
+from .engine import Environment, Event, SimulationError
+
+__all__ = ["Link", "Flow", "FlowNetwork"]
+
+#: Rates below this (bytes/sec) are treated as zero to avoid float dust.
+_EPS = 1e-9
+
+
+class Link:
+    """A capacity-limited, unidirectional network resource.
+
+    ``capacity`` is in bytes/second.  A link with ``capacity=None`` is
+    unconstrained (useful for switch backplanes we do not model).
+    """
+
+    __slots__ = ("name", "capacity", "_flows")
+
+    def __init__(self, name: str, capacity: Optional[float]):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"link capacity must be positive, got {capacity!r}")
+        self.name = name
+        self.capacity = capacity
+        self._flows: set["Flow"] = set()
+
+    @property
+    def n_flows(self) -> int:
+        return len(self._flows)
+
+    def utilization(self) -> float:
+        """Current fraction of capacity in use (0.0 for unconstrained links)."""
+        if self.capacity is None:
+            return 0.0
+        return sum(f.rate for f in self._flows) / self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cap = "inf" if self.capacity is None else f"{self.capacity:.0f}B/s"
+        return f"Link({self.name!r}, {cap}, {len(self._flows)} flows)"
+
+
+class Flow:
+    """An in-flight transfer of ``size`` bytes along ``path``.
+
+    ``max_rate`` caps the flow below its fair share — this models a
+    receiver that cannot consume faster than it installs packages.
+    ``done`` is an engine Event that triggers when the last byte lands.
+    """
+
+    __slots__ = (
+        "network",
+        "path",
+        "size",
+        "remaining",
+        "max_rate",
+        "rate",
+        "done",
+        "started_at",
+        "finished_at",
+        "label",
+        "_completion_seq",
+    )
+
+    def __init__(
+        self,
+        network: "FlowNetwork",
+        path: tuple[Link, ...],
+        size: float,
+        max_rate: Optional[float],
+        label: str,
+    ):
+        self.network = network
+        self.path = path
+        self.size = float(size)
+        self.remaining = float(size)
+        self.max_rate = max_rate
+        self.rate = 0.0
+        self.done: Event = network.env.event()
+        self.started_at = network.env.now
+        self.finished_at: Optional[float] = None
+        self.label = label
+        self._completion_seq = 0
+
+    @property
+    def elapsed(self) -> float:
+        end = self.finished_at if self.finished_at is not None else self.network.env.now
+        return end - self.started_at
+
+    def cancel(self) -> None:
+        """Abort the transfer; ``done`` fails with :class:`TransferAborted`."""
+        self.network._cancel(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Flow({self.label!r}, {self.remaining:.0f}/{self.size:.0f}B, "
+            f"{self.rate:.0f}B/s)"
+        )
+
+
+class TransferAborted(Exception):
+    """The flow was cancelled before completion (e.g. node power-cycled)."""
+
+
+class FlowNetwork:
+    """Tracks active flows and keeps their max-min fair rates current."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._flows: set[Flow] = set()
+        self._last_update = env.now
+        self._wakeup: Optional[Event] = None
+        self._bytes_moved = 0.0
+
+    # -- public API -------------------------------------------------------
+    def transfer(
+        self,
+        path: Iterable[Link],
+        size: float,
+        max_rate: Optional[float] = None,
+        label: str = "",
+    ) -> Flow:
+        """Start a transfer; returns the :class:`Flow` (wait on ``flow.done``)."""
+        if size < 0:
+            raise ValueError(f"transfer size must be non-negative, got {size!r}")
+        if max_rate is not None and max_rate <= 0:
+            raise ValueError(f"max_rate must be positive, got {max_rate!r}")
+        flow = Flow(self, tuple(path), size, max_rate, label)
+        if size == 0:
+            flow.finished_at = self.env.now
+            flow.done.succeed(flow)
+            return flow
+        self._advance()
+        self._flows.add(flow)
+        for link in flow.path:
+            link._flows.add(flow)
+        self._reallocate()
+        return flow
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    @property
+    def bytes_moved(self) -> float:
+        """Total bytes delivered across all completed and in-flight flows."""
+        self._advance()
+        return self._bytes_moved
+
+    # -- internals ----------------------------------------------------------
+    def _cancel(self, flow: Flow) -> None:
+        if flow not in self._flows:
+            return
+        self._advance()
+        self._detach(flow)
+        flow.finished_at = self.env.now
+        flow.done.fail(TransferAborted(flow.label))
+        self._reallocate()
+
+    def _detach(self, flow: Flow) -> None:
+        self._flows.discard(flow)
+        for link in flow.path:
+            link._flows.discard(flow)
+
+    def _advance(self) -> None:
+        """Credit every flow with bytes moved since the last update."""
+        now = self.env.now
+        dt = now - self._last_update
+        if dt < 0:
+            raise SimulationError("simulation time went backwards")
+        if dt > 0:
+            for flow in self._flows:
+                if math.isinf(flow.rate):
+                    moved = flow.remaining
+                else:
+                    moved = min(flow.remaining, flow.rate * dt)
+                flow.remaining -= moved
+                self._bytes_moved += moved
+                # Snap float dust to done: less than a nanosecond of work
+                # left must not schedule another (zero-delay) wakeup.
+                if flow.remaining <= _EPS + flow.rate * 1e-9:
+                    self._bytes_moved += flow.remaining
+                    flow.remaining = 0.0
+            self._last_update = now
+
+    def _reallocate(self) -> None:
+        """Recompute max-min fair rates via progressive filling.
+
+        All unconstrained flows are raised in lockstep until a link
+        saturates or a flow hits its own ``max_rate``; those flows freeze
+        and the rest keep filling.
+        """
+        active = [f for f in self._flows if f.remaining > _EPS]
+        # Flows that raced to zero remaining without an update cycle:
+        for f in list(self._flows):
+            if f.remaining <= _EPS:
+                self._complete(f)
+        if not active:
+            self._schedule_wakeup()
+            return
+
+        # Progressive filling with incrementally-maintained per-link
+        # unfrozen-flow counts: O(rounds * (flows + links)) instead of
+        # recounting every link's flow set each round (which made large
+        # concurrent-reinstall runs cubic in cluster size).
+        rate = {f: 0.0 for f in active}
+        active_set = set(active)
+        unfrozen = set(active)
+        constrained = {
+            link for f in active for link in f.path if link.capacity is not None
+        }
+        headroom = {link: float(link.capacity) for link in constrained}
+        count = {
+            link: sum(1 for f in link._flows if f in active_set)
+            for link in constrained
+        }
+
+        def freeze(flow: Flow) -> None:
+            # A path is a set of resources: a link listed twice (loopback
+            # quirk) still carries the flow once, matching Link._flows.
+            for link in set(flow.path):
+                if link in count:
+                    count[link] -= 1
+
+        while unfrozen:
+            # Smallest equal increment that saturates a link or caps a flow.
+            inc = math.inf
+            for link, n in count.items():
+                if n > 0:
+                    inc = min(inc, headroom[link] / n)
+            for f in unfrozen:
+                if f.max_rate is not None:
+                    inc = min(inc, f.max_rate - rate[f])
+            if math.isinf(inc):
+                # Every remaining flow traverses only unconstrained links
+                # and has no cap: give them an effectively unbounded rate.
+                for f in unfrozen:
+                    rate[f] = math.inf
+                break
+            inc = max(inc, 0.0)
+            newly_frozen: set[Flow] = set()
+            for f in unfrozen:
+                rate[f] += inc
+                if f.max_rate is not None and rate[f] >= f.max_rate - _EPS:
+                    rate[f] = f.max_rate
+                    newly_frozen.add(f)
+            for link, n in count.items():
+                headroom[link] -= inc * n
+                if headroom[link] <= _EPS and n > 0:
+                    for f in link._flows:
+                        if f in unfrozen:
+                            newly_frozen.add(f)
+            if not newly_frozen:
+                # Numerical corner: freeze everything to guarantee progress.
+                newly_frozen = set(unfrozen)
+            for f in newly_frozen:
+                if f in unfrozen:
+                    freeze(f)
+            unfrozen -= newly_frozen
+
+        for f in active:
+            f.rate = rate[f]
+        self._schedule_wakeup()
+
+    def _complete(self, flow: Flow) -> None:
+        self._detach(flow)
+        flow.remaining = 0.0
+        flow.rate = 0.0
+        flow.finished_at = self.env.now
+        flow.done.succeed(flow)
+
+    def _schedule_wakeup(self) -> None:
+        """Arrange to wake at the earliest flow-completion instant."""
+        if self._wakeup is not None:
+            # Invalidate the stale wakeup by detaching its callback (a
+            # Timeout is "triggered" from birth, so this must be
+            # unconditional; an already-dispatched one has no callbacks).
+            self._wakeup.callbacks.clear()
+        self._wakeup = None
+        soonest = math.inf
+        for f in self._flows:
+            if f.rate > _EPS:
+                soonest = min(soonest, f.remaining / f.rate)
+            elif f.rate == math.inf:
+                soonest = 0.0
+        if math.isinf(soonest):
+            return
+        wake = self.env.timeout(max(soonest, 0.0))
+        self._wakeup = wake
+        wake.callbacks.append(self._on_wakeup)
+
+    def _on_wakeup(self, _event: Event) -> None:
+        self._advance()
+        finished = [
+            f
+            for f in self._flows
+            if f.remaining <= _EPS + f.rate * 1e-9 or math.isinf(f.rate)
+        ]
+        for f in finished:
+            self._complete(f)
+        self._reallocate()

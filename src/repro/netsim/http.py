@@ -1,0 +1,191 @@
+"""Minimal HTTP layer on top of the fluid-flow network.
+
+Rocks pulls everything over HTTP: compute nodes fetch their generated
+Kickstart file from a CGI script and then pull every RPM from the install
+server.  We model an HTTP server as
+
+* a document tree mapping URL paths to byte sizes (static resources),
+* optional *CGI handlers* whose response body is computed per-request
+  (this is how the Kickstart generator is wired in), and
+* a protocol-efficiency factor: the paper observes a 100 Mbit server
+  sustains 7-8 MB/s of useful payload, i.e. ~70% of wire speed, so each
+  server throttles its aggregate payload rate through a virtual link.
+
+Replicated servers plus :class:`LoadBalancer` model the paper's
+"N web servers support N times the concurrent reinstallations" argument.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from .engine import Environment, Interrupt, Process
+from .flows import Link
+from .topology import Network
+
+__all__ = [
+    "HttpServer",
+    "HttpResponse",
+    "HttpError",
+    "LoadBalancer",
+    "DEFAULT_HTTP_EFFICIENCY",
+]
+
+#: Fraction of wire speed an HTTP server can turn into payload (paper §6.3).
+DEFAULT_HTTP_EFFICIENCY = 0.70
+
+
+class HttpError(Exception):
+    """An HTTP-level failure, carrying a status code."""
+
+    def __init__(self, status: int, reason: str):
+        super().__init__(f"{status} {reason}")
+        self.status = status
+        self.reason = reason
+
+
+@dataclass
+class HttpResponse:
+    """Outcome of a GET: status, payload size, optional computed body."""
+
+    status: int
+    path: str
+    size: float
+    body: Any = None
+    server: str = ""
+
+
+CgiHandler = Callable[[str, str], tuple[Any, float]]
+"""CGI callable: (client_host_name, path) -> (body, body_size_bytes)."""
+
+
+class HttpServer:
+    """An HTTP daemon bound to a host on a :class:`Network`."""
+
+    def __init__(
+        self,
+        network: Network,
+        host: str,
+        efficiency: float = DEFAULT_HTTP_EFFICIENCY,
+    ):
+        if not 0 < efficiency <= 1:
+            raise ValueError(f"efficiency must be in (0, 1], got {efficiency!r}")
+        self.network = network
+        self.host = host
+        self.efficiency = efficiency
+        link = network.host(host).tx
+        # Virtual service link: caps aggregate *payload* below wire speed.
+        self.service_link = Link(
+            f"{host}.http", (link.capacity or 0.0) * efficiency or None
+        )
+        self._documents: dict[str, float] = {}
+        self._cgi: dict[str, CgiHandler] = {}
+        self._requests_served = 0
+        self._bytes_served = 0.0
+        self.running = True
+
+    # -- content management ----------------------------------------------
+    def publish(self, path: str, size: float) -> None:
+        """Expose a static resource of ``size`` bytes at ``path``."""
+        if size < 0:
+            raise ValueError("resource size must be non-negative")
+        self._documents[self._norm(path)] = float(size)
+
+    def publish_tree(self, tree: dict[str, float], prefix: str = "") -> None:
+        for path, size in tree.items():
+            self.publish(prefix + path, size)
+
+    def unpublish(self, path: str) -> None:
+        self._documents.pop(self._norm(path), None)
+
+    def register_cgi(self, path: str, handler: CgiHandler) -> None:
+        """Mount a CGI script (e.g. the kickstart generator) at ``path``."""
+        self._cgi[self._norm(path)] = handler
+
+    def has_document(self, path: str) -> bool:
+        return self._norm(path) in self._documents
+
+    @property
+    def requests_served(self) -> int:
+        return self._requests_served
+
+    @property
+    def bytes_served(self) -> float:
+        return self._bytes_served
+
+    def refresh_link_speed(self) -> None:
+        """Re-derive the service cap after the host NIC was upgraded."""
+        wire = self.network.host(self.host).tx.capacity or 0.0
+        self.service_link.capacity = wire * self.efficiency or None
+
+    # -- request path -------------------------------------------------------
+    def get(
+        self, client: str, path: str, max_rate: Optional[float] = None
+    ) -> Process:
+        """GET ``path`` from ``client``; yields an HttpResponse process."""
+        return self.network.env.process(
+            self._do_get(client, self._norm(path), max_rate),
+            name=f"GET {path} {client}<-{self.host}",
+        )
+
+    def _do_get(self, client: str, path: str, max_rate: Optional[float]):
+        if not self.running:
+            raise HttpError(503, f"server {self.host} not running")
+        if not self.network.reachable(self.host, client):
+            raise HttpError(504, f"no route from {client} to {self.host}")
+        body: Any = None
+        if path in self._cgi:
+            body, size = self._cgi[path](client, path)
+        elif path in self._documents:
+            size = self._documents[path]
+        else:
+            raise HttpError(404, f"{path} not found on {self.host}")
+        wire_path = self.network.path(self.host, client)
+        flow = self.network.flows.transfer(
+            (self.service_link,) + wire_path,
+            size,
+            max_rate=max_rate,
+            label=f"http:{path}",
+        )
+        try:
+            yield flow.done
+        except Interrupt:
+            # The requester died (e.g. node power-cycled mid-download):
+            # tear the connection down so bandwidth is freed immediately.
+            flow.cancel()
+            raise
+        self._requests_served += 1
+        self._bytes_served += size
+        return HttpResponse(200, path, size, body=body, server=self.host)
+
+    @staticmethod
+    def _norm(path: str) -> str:
+        return "/" + path.strip("/")
+
+
+class LoadBalancer:
+    """Round-robin HTTP load balancing across replicated install servers.
+
+    The paper notes replicating the install web server is trivial because
+    serving RPMs is strictly read-only; this class provides the client-side
+    view of N replicas behind one name.
+    """
+
+    def __init__(self, servers: list[HttpServer]):
+        if not servers:
+            raise ValueError("load balancer needs at least one backend")
+        self.servers = list(servers)
+        self._rr = itertools.cycle(range(len(self.servers)))
+
+    def get(
+        self, client: str, path: str, max_rate: Optional[float] = None
+    ) -> Process:
+        """Dispatch a GET to the next live backend (skipping dead ones)."""
+        for _ in range(len(self.servers)):
+            server = self.servers[next(self._rr)]
+            if server.running and server.network.reachable(server.host, client):
+                return server.get(client, path, max_rate=max_rate)
+        # All backends down: let the first raise its error inside a process.
+        return self.servers[0].get(client, path, max_rate=max_rate)

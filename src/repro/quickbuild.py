@@ -1,0 +1,126 @@
+"""High-level convenience API: build and drive a whole Rocks cluster.
+
+This wraps the full stack — hardware, frontend, services, insert-ethers
+— behind the workflow a Rocks administrator actually follows (§7):
+
+1. install the frontend from CD (``build_cluster`` does this);
+2. run insert-ethers and boot compute nodes one at a time with the same
+   CD (:meth:`RocksCluster.integrate_all`);
+3. manage thereafter by reinstalling (:meth:`RocksCluster.reinstall_all`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .cluster import ClusterHardware, Machine, MachineState
+from .core.frontend import FrontendConfig, RocksFrontend
+from .core.tools import InsertEthers, ShootReport, shoot_nodes
+from .installer import DEFAULT_CALIBRATION, InstallCalibration
+from .netsim import Environment, SimulationError
+from .rpm import Repository
+
+__all__ = ["RocksCluster", "build_cluster"]
+
+
+@dataclass
+class RocksCluster:
+    """A running simulation: environment, hardware, frontend, nodes."""
+
+    env: Environment
+    hardware: ClusterHardware
+    frontend: RocksFrontend
+    nodes: list[Machine] = field(default_factory=list)
+    insert_ethers: Optional[InsertEthers] = None
+
+    # -- node integration (§6.4) ---------------------------------------------------
+    def add_compute_nodes(self, n: int, model: str = "pIII-733-myri") -> list[Machine]:
+        """Rack new hardware (powered off, not yet in the database)."""
+        new = []
+        for _ in range(n):
+            machine = self.hardware.add_machine(model)
+            self.frontend.adopt(machine)
+            new.append(machine)
+        self.nodes.extend(new)
+        return new
+
+    def integrate_all(
+        self,
+        membership: str = "Compute",
+        wait_until_up: bool = True,
+        per_node_deadline: float = 3600.0,
+    ) -> list[str]:
+        """Run insert-ethers and boot un-integrated nodes sequentially.
+
+        Sequential boot order is what binds (rack, rank) to physical
+        position (§6.4 footnote).  Installations themselves overlap.
+        Returns the assigned hostnames, in order.
+        """
+        if self.insert_ethers is None:
+            self.insert_ethers = InsertEthers(
+                self.frontend, membership=membership
+            ).start()
+        ie = self.insert_ethers
+        named = []
+        for machine in self.nodes:
+            if self.frontend.db.has_mac(machine.mac):
+                continue
+            machine.power_on()
+            deadline = self.env.now + per_node_deadline
+            while not self.frontend.db.has_mac(machine.mac):
+                if self.env.peek() == float("inf") or self.env.now > deadline:
+                    raise SimulationError(
+                        f"{machine.mac} was never integrated (is dhcpd/"
+                        "syslog running and insert-ethers listening?)"
+                    )
+                self.env.step()
+            named.append(machine.hostid)
+        if wait_until_up:
+            for machine in self.nodes:
+                if machine.state is not MachineState.UP:
+                    self.env.run(until=machine.wait_for_state(MachineState.UP))
+        return named
+
+    # -- the management primitive (§5): reinstall ---------------------------------------
+    def reinstall_all(
+        self, machines: Optional[Sequence[Machine]] = None
+    ) -> list[ShootReport]:
+        """Concurrently reinstall nodes via shoot-node; returns reports."""
+        targets = list(machines) if machines is not None else list(self.nodes)
+        proc = shoot_nodes(self.frontend, targets)
+        return self.env.run(until=proc)
+
+    def machine(self, name: str) -> Machine:
+        return self.hardware.by_name(name)
+
+    @property
+    def db(self):
+        return self.frontend.db
+
+
+def build_cluster(
+    n_compute: int = 4,
+    compute_model: str = "pIII-733-myri",
+    config: Optional[FrontendConfig] = None,
+    calibration: InstallCalibration = DEFAULT_CALIBRATION,
+    stock: Optional[Repository] = None,
+    updates: Optional[Repository] = None,
+    seed: int = 0,
+) -> RocksCluster:
+    """Stand up a frontend (installed, services running) plus racked nodes.
+
+    The returned cluster's compute nodes are still powered off and
+    anonymous — call :meth:`RocksCluster.integrate_all` to adopt them.
+    """
+    env = Environment()
+    hardware = ClusterHardware(env, seed=seed)
+    if config is None:
+        config = FrontendConfig(calibration=calibration)
+    else:
+        config.calibration = calibration
+    frontend = RocksFrontend(env, hardware, config, stock=stock, updates=updates)
+    frontend.install_from_cd()
+    sim = RocksCluster(env=env, hardware=hardware, frontend=frontend)
+    sim.add_compute_nodes(n_compute, model=compute_model)
+    return sim

@@ -1,0 +1,51 @@
+"""RPM package management substrate.
+
+Implements the pieces of Red Hat's package technology that Rocks builds
+on: EVR version comparison (``rpmvercmp``), the package model,
+repositories, the per-node installed database, dependency transactions,
+spec files + ``rpmbuild``, and a deterministic synthetic Red Hat tree.
+"""
+
+from .package import NOARCH, DepFlag, Dependency, Package
+from .repository import PackageNotFound, Repository
+from .rpmdb import ConflictError, DependencyError, RpmDatabase, RpmError
+from .specfile import BuildError, SpecFile, rpmbuild
+from .synth import (
+    MB,
+    Update,
+    UpdateStream,
+    community_packages,
+    npaci_packages,
+    stock_redhat,
+)
+from .transaction import Transaction, install_order, resolve
+from .version import EVR, label_compare, parse_evr, rpmvercmp
+
+__all__ = [
+    "NOARCH",
+    "DepFlag",
+    "Dependency",
+    "Package",
+    "PackageNotFound",
+    "Repository",
+    "ConflictError",
+    "DependencyError",
+    "RpmDatabase",
+    "RpmError",
+    "BuildError",
+    "SpecFile",
+    "rpmbuild",
+    "MB",
+    "Update",
+    "UpdateStream",
+    "community_packages",
+    "npaci_packages",
+    "stock_redhat",
+    "Transaction",
+    "install_order",
+    "resolve",
+    "EVR",
+    "label_compare",
+    "parse_evr",
+    "rpmvercmp",
+]

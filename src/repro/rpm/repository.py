@@ -1,0 +1,122 @@
+"""Package repositories: ordered collections of RPMs with lookup.
+
+A repository models one *source* of software in the rocks-dist sense —
+the stock Red Hat tree, the updates mirror, third-party contrib, or the
+local site packages.  Repositories resolve dependencies (whatprovides)
+and pick the newest build of a name, which is the primitive rocks-dist
+builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from .package import Dependency, Package
+
+__all__ = ["Repository", "PackageNotFound"]
+
+
+class PackageNotFound(KeyError):
+    """Lookup failed for a package name or dependency."""
+
+    def __init__(self, what: str):
+        super().__init__(what)
+        self.what = what
+
+    def __str__(self) -> str:
+        return f"no package found for {self.what!r}"
+
+
+class Repository:
+    """A named collection of packages, newest-aware."""
+
+    def __init__(self, name: str, packages: Iterable[Package] = ()):
+        self.name = name
+        self._by_name: dict[str, list[Package]] = {}
+        self._provides_index: dict[str, list[Package]] = {}
+        for pkg in packages:
+            self.add(pkg)
+
+    # -- mutation ----------------------------------------------------------
+    def add(self, pkg: Package) -> None:
+        """Add a package; multiple versions of one name may coexist."""
+        bucket = self._by_name.setdefault(pkg.name, [])
+        if any(p.evr == pkg.evr and p.arch == pkg.arch for p in bucket):
+            return  # identical build already present — idempotent
+        bucket.append(pkg)
+        self._provides_index.setdefault(pkg.name, []).append(pkg)
+        for prov in pkg.provides:
+            self._provides_index.setdefault(prov.name, []).append(pkg)
+
+    def add_all(self, packages: Iterable[Package]) -> None:
+        for pkg in packages:
+            self.add(pkg)
+
+    def remove(self, pkg: Package) -> None:
+        self._by_name.get(pkg.name, []).remove(pkg)
+        if not self._by_name.get(pkg.name):
+            self._by_name.pop(pkg.name, None)
+        for key in {pkg.name, *(p.name for p in pkg.provides)}:
+            lst = self._provides_index.get(key, [])
+            if pkg in lst:
+                lst.remove(pkg)
+            if not lst:
+                self._provides_index.pop(key, None)
+
+    # -- queries -----------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_name.values())
+
+    def __iter__(self) -> Iterator[Package]:
+        for name in sorted(self._by_name):
+            yield from sorted(self._by_name[name], key=lambda p: p.evr)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def names(self) -> list[str]:
+        return sorted(self._by_name)
+
+    def versions(self, name: str) -> list[Package]:
+        """All builds of ``name``, oldest first."""
+        try:
+            return sorted(self._by_name[name], key=lambda p: p.evr)
+        except KeyError:
+            raise PackageNotFound(name) from None
+
+    def latest(self, name: str, arch: Optional[str] = None) -> Package:
+        """The newest build of ``name`` (optionally restricted by arch)."""
+        candidates = self._by_name.get(name, [])
+        if arch is not None:
+            candidates = [p for p in candidates if p.arch in (arch, "noarch")]
+        if not candidates:
+            raise PackageNotFound(name if arch is None else f"{name}.{arch}")
+        return max(candidates, key=lambda p: p.evr)
+
+    def get(self, name: str, default: Optional[Package] = None) -> Optional[Package]:
+        try:
+            return self.latest(name)
+        except PackageNotFound:
+            return default
+
+    def whatprovides(self, dep: Dependency | str) -> list[Package]:
+        """Packages satisfying ``dep``, best (newest) first."""
+        if isinstance(dep, str):
+            dep = Dependency.parse(dep)
+        hits = [
+            p for p in self._provides_index.get(dep.name, []) if p.satisfies(dep)
+        ]
+        return sorted(hits, key=lambda p: (p.evr, p.name), reverse=True)
+
+    def best_provider(self, dep: Dependency | str) -> Package:
+        hits = self.whatprovides(dep)
+        if not hits:
+            raise PackageNotFound(str(dep))
+        return hits[0]
+
+    def total_size(self) -> int:
+        """Aggregate payload bytes of every package in the repository."""
+        return sum(p.size for p in self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Repository({self.name!r}, {len(self)} packages)"

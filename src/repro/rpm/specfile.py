@@ -1,0 +1,104 @@
+"""Spec files and ``rpmbuild`` — enough to model the kernel workflow.
+
+Paper §3.3: to ship a custom kernel, the administrator crafts a
+``.config``, runs ``make rpm`` (Red Hat's addition to the kernel
+makefile), copies the binary RPM back to the frontend and binds it into
+a new distribution with rocks-dist.  §6.3: the Myrinet driver ships as a
+*source* RPM that every node rebuilds against its own kernel at install
+time.  Both flows need a source-package + build step, modelled here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .package import Dependency, Package
+
+__all__ = ["SpecFile", "BuildError", "rpmbuild"]
+
+
+class BuildError(Exception):
+    """rpmbuild failed (missing build requirements, bad spec)."""
+
+
+@dataclass(frozen=True)
+class SpecFile:
+    """A simplified RPM spec: identity, build deps, and outputs."""
+
+    name: str
+    version: str
+    release: str = "1"
+    summary: str = ""
+    build_requires: tuple[Dependency, ...] = ()
+    #: names of sub-packages produced (defaults to just ``name``)
+    subpackages: tuple[str, ...] = ()
+    #: payload size of each built binary package, bytes
+    binary_size: int = 1 << 20
+    #: simulated build duration in seconds per MHz-normalised CPU
+    build_cost: float = 60.0
+    post_script: str = ""
+
+    def __post_init__(self):
+        deps = tuple(
+            d if isinstance(d, Dependency) else Dependency.parse(d)
+            for d in self.build_requires
+        )
+        object.__setattr__(self, "build_requires", deps)
+
+    def source_package(self, size: Optional[int] = None) -> Package:
+        """The ``.src.rpm`` for this spec."""
+        return Package(
+            name=self.name,
+            version=self.version,
+            release=self.release,
+            arch="src",
+            size=size if size is not None else max(self.binary_size // 4, 1),
+            summary=self.summary or f"Source for {self.name}",
+            is_source=True,
+        )
+
+
+def rpmbuild(
+    spec: SpecFile,
+    arch: str = "i386",
+    available: Sequence[Package] = (),
+    extra_provides: Sequence[str] = (),
+    version_suffix: str = "",
+) -> list[Package]:
+    """Build binary packages from ``spec``.
+
+    ``available`` is the build environment's installed set; every
+    BuildRequires must be satisfied by it (this is why nodes rebuilding
+    the Myrinet driver need kernel-source and compilers installed —
+    exactly what the paper's compute node file pulls in).
+
+    ``version_suffix`` lets a driver embed the kernel version it was
+    built for (module versioning), e.g. ``gm-1.4_2.4.9``.
+    """
+    missing = [
+        str(dep)
+        for dep in spec.build_requires
+        if not any(p.satisfies(dep) for p in available)
+    ]
+    if missing:
+        raise BuildError(
+            f"cannot build {spec.name}: missing BuildRequires {', '.join(missing)}"
+        )
+    names = spec.subpackages or (spec.name,)
+    version = spec.version + version_suffix
+    built = []
+    for name in names:
+        built.append(
+            Package(
+                name=name,
+                version=version,
+                release=spec.release,
+                arch=arch,
+                size=spec.binary_size,
+                summary=spec.summary,
+                provides=tuple(Dependency.parse(p) for p in extra_provides),
+                post_script=spec.post_script,
+            )
+        )
+    return built

@@ -1,0 +1,410 @@
+"""Synthetic Red Hat-like package universe.
+
+The paper's substrate is a real Red Hat 7.2 tree (plus its 327 updates),
+which we obviously cannot ship.  This module generates a deterministic
+stand-in with the properties the experiments depend on:
+
+* a curated core of real package names with realistic sizes and a
+  requires graph (glibc at the bottom, compilers, servers, X, ...);
+* enough library filler that a compute node's dependency closure comes
+  out at the paper's **162 packages / ~225 MB** (§6.3, Figure 7);
+* the community cluster software Rocks adds (MPICH, PVM, ATLAS, PBS,
+  Maui, REXEC, the Myrinet GM *source* package);
+* the NPACI local packages (rocks-dist, eKV, insert-ethers, profiles);
+* an :class:`UpdateStream` reproducing §6.2.1's observation that Red Hat
+  6.2 saw 124 updated packages in under a year — one every three days —
+  a fraction of them security fixes.
+
+Everything is seeded; two calls with the same arguments produce
+identical repositories.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from .package import Dependency, Package
+from .repository import Repository
+
+__all__ = [
+    "stock_redhat",
+    "community_packages",
+    "npaci_packages",
+    "UpdateStream",
+    "Update",
+    "BASE_FILLER_COUNT",
+    "MB",
+]
+
+MB = 1_000_000
+
+# ---------------------------------------------------------------------------
+# Curated core: (name, version, size_bytes, requires, group)
+# Sizes are loosely modelled on a real RH 7.2 tree.
+# ---------------------------------------------------------------------------
+_CORE: list[tuple[str, str, int, tuple[str, ...], str]] = [
+    # the bottom of the world
+    ("setup", "2.5.7", int(0.03 * MB), (), "System Environment/Base"),
+    ("filesystem", "2.1.6", int(0.02 * MB), ("setup",), "System Environment/Base"),
+    ("glibc", "2.2.4", int(15.0 * MB), ("filesystem",), "System Environment/Libraries"),
+    ("bash", "2.05", int(1.9 * MB), ("glibc",), "System Environment/Shells"),
+    ("dev", "3.0.6", int(0.34 * MB), ("filesystem",), "System Environment/Base"),
+    ("fileutils", "4.1", int(1.6 * MB), ("glibc",), "System Environment/Base"),
+    ("textutils", "2.0.14", int(1.1 * MB), ("glibc",), "System Environment/Base"),
+    ("sh-utils", "2.0.11", int(0.9 * MB), ("glibc",), "System Environment/Base"),
+    ("grep", "2.4.2", int(0.5 * MB), ("glibc",), "Applications/Text"),
+    ("gawk", "3.1.0", int(1.5 * MB), ("glibc",), "Applications/Text"),
+    ("sed", "3.02", int(0.2 * MB), ("glibc",), "Applications/Text"),
+    ("tar", "1.13.25", int(1.1 * MB), ("glibc",), "Applications/Archiving"),
+    ("gzip", "1.3", int(0.4 * MB), ("glibc",), "Applications/Archiving"),
+    ("rpm", "4.0.3", int(3.1 * MB), ("glibc", "bash"), "System Environment/Base"),
+    ("glib", "1.2.10", int(0.4 * MB), ("glibc",), "System Environment/Libraries"),
+    ("popt", "1.6.3", int(0.1 * MB), ("glibc",), "System Environment/Libraries"),
+    ("db3", "3.2.9", int(1.3 * MB), ("glibc",), "System Environment/Libraries"),
+    ("ncurses", "5.2", int(5.1 * MB), ("glibc",), "System Environment/Libraries"),
+    ("readline", "4.2", int(0.5 * MB), ("ncurses",), "System Environment/Libraries"),
+    ("zlib", "1.1.3", int(0.1 * MB), ("glibc",), "System Environment/Libraries"),
+    ("info", "4.0b", int(0.5 * MB), ("glibc",), "System Environment/Base"),
+    ("chkconfig", "1.3.1", int(0.3 * MB), ("glibc",), "System Environment/Base"),
+    ("initscripts", "6.40", int(1.2 * MB), ("bash", "chkconfig"), "System Environment/Base"),
+    ("pam", "0.75", int(1.8 * MB), ("glibc", "db3"), "System Environment/Base"),
+    ("shadow-utils", "20000902", int(1.7 * MB), ("pam",), "System Environment/Base"),
+    ("util-linux", "2.11f", int(2.6 * MB), ("pam", "ncurses"), "System Environment/Base"),
+    ("procps", "2.0.7", int(0.5 * MB), ("ncurses",), "Applications/System"),
+    ("psmisc", "20.1", int(0.1 * MB), ("ncurses",), "Applications/System"),
+    ("net-tools", "1.60", int(1.2 * MB), ("glibc",), "System Environment/Base"),
+    ("iputils", "20001110", int(0.2 * MB), ("glibc",), "System Environment/Daemons"),
+    ("modutils", "2.4.6", int(1.5 * MB), ("glibc",), "System Environment/Kernel"),
+    ("mount", "2.11g", int(0.3 * MB), ("glibc",), "System Environment/Base"),
+    ("e2fsprogs", "1.23", int(1.9 * MB), ("glibc",), "System Environment/Base"),
+    ("mingetty", "0.9.4", int(0.03 * MB), ("glibc",), "System Environment/Base"),
+    ("vixie-cron", "3.0.1", int(0.2 * MB), ("initscripts",), "System Environment/Base"),
+    ("crontabs", "1.10", int(0.01 * MB), (), "System Environment/Base"),
+    ("logrotate", "3.5.9", int(0.1 * MB), ("popt",), "System Environment/Base"),
+    ("sysklogd", "1.4.1", int(0.3 * MB), ("initscripts",), "System Environment/Daemons"),
+    ("syslinux", "1.52", int(0.3 * MB), ("glibc",), "Applications/System"),
+    ("kernel", "2.4.9", int(10.0 * MB), ("modutils", "initscripts"), "System Environment/Kernel"),
+    ("kernel-headers", "2.4.9", int(1.2 * MB), (), "Development/System"),
+    ("kernel-source", "2.4.9", int(17.0 * MB), (), "Development/System"),
+    ("mkinitrd", "3.2.6", int(0.1 * MB), ("e2fsprogs",), "System Environment/Base"),
+    ("grub", "0.90", int(0.8 * MB), ("glibc",), "System Environment/Base"),
+    # networking / daemons
+    ("openssl", "0.9.6b", int(3.6 * MB), ("glibc",), "System Environment/Libraries"),
+    ("openssh", "2.9p2", int(0.7 * MB), ("openssl",), "Applications/Internet"),
+    ("openssh-clients", "2.9p2", int(0.9 * MB), ("openssh",), "Applications/Internet"),
+    ("openssh-server", "2.9p2", int(0.5 * MB), ("openssh",), "System Environment/Daemons"),
+    ("xinetd", "2.3.3", int(0.4 * MB), ("initscripts",), "System Environment/Daemons"),
+    ("telnet", "0.17", int(0.1 * MB), ("glibc",), "Applications/Internet"),
+    ("telnet-server", "0.17", int(0.1 * MB), ("xinetd",), "System Environment/Daemons"),
+    ("wget", "1.7", int(0.9 * MB), ("openssl",), "Applications/Internet"),
+    ("dhcp", "2.0", int(0.5 * MB), ("initscripts",), "System Environment/Daemons"),
+    ("dhcpcd", "1.3.18", int(0.2 * MB), ("glibc",), "System Environment/Base"),
+    ("bind", "9.1.3", int(2.1 * MB), ("openssl", "initscripts"), "System Environment/Daemons"),
+    ("bind-utils", "9.1.3", int(1.5 * MB), ("openssl",), "Applications/System"),
+    ("caching-nameserver", "7.1", int(0.01 * MB), ("bind",), "System Environment/Daemons"),
+    ("portmap", "4.0", int(0.1 * MB), ("initscripts",), "System Environment/Daemons"),
+    ("nfs-utils", "0.3.1", int(0.7 * MB), ("portmap",), "System Environment/Daemons"),
+    ("ypbind", "1.8", int(0.1 * MB), ("portmap",), "System Environment/Daemons"),
+    ("ypserv", "1.3.12", int(0.4 * MB), ("portmap",), "System Environment/Daemons"),
+    ("yp-tools", "2.5", int(0.3 * MB), ("glibc",), "System Environment/Base"),
+    ("apache", "1.3.20", int(2.4 * MB), ("initscripts",), "System Environment/Daemons"),
+    ("mod_ssl", "2.8.4", int(0.6 * MB), ("apache", "openssl"), "System Environment/Daemons"),
+    ("mysql", "3.23.41", int(6.5 * MB), ("glibc",), "Applications/Databases"),
+    ("mysql-server", "3.23.41", int(3.8 * MB), ("mysql", "initscripts"), "Applications/Databases"),
+    ("ntp", "4.1.0", int(1.8 * MB), ("initscripts",), "System Environment/Daemons"),
+    # development
+    ("binutils", "2.11.90", int(6.5 * MB), ("glibc",), "Development/Tools"),
+    ("cpp", "2.96", int(0.6 * MB), ("glibc",), "Development/Languages"),
+    ("gcc", "2.96", int(7.0 * MB), ("binutils", "cpp", "glibc-devel"), "Development/Languages"),
+    ("gcc-g77", "2.96", int(3.8 * MB), ("gcc",), "Development/Languages"),
+    ("gcc-c++", "2.96", int(3.4 * MB), ("gcc",), "Development/Languages"),
+    ("glibc-devel", "2.2.4", int(6.5 * MB), ("glibc", "kernel-headers"), "Development/Libraries"),
+    ("make", "3.79.1", int(0.8 * MB), ("glibc",), "Development/Tools"),
+    ("autoconf", "2.13", int(0.7 * MB), ("gawk",), "Development/Tools"),
+    ("automake", "1.4p5", int(0.9 * MB), ("autoconf",), "Development/Tools"),
+    ("cvs", "1.11", int(2.0 * MB), ("glibc",), "Development/Tools"),
+    ("gdb", "5.0rh", int(4.6 * MB), ("ncurses",), "Development/Debuggers"),
+    ("strace", "4.3", int(0.3 * MB), ("glibc",), "Development/Debuggers"),
+    ("flex", "2.5.4a", int(0.3 * MB), ("glibc",), "Development/Tools"),
+    ("bison", "1.28", int(0.4 * MB), ("glibc",), "Development/Tools"),
+    ("patch", "2.5.4", int(0.2 * MB), ("glibc",), "Development/Tools"),
+    ("rcs", "5.7", int(0.8 * MB), ("glibc",), "Development/Tools"),
+    ("python", "1.5.2", int(6.0 * MB), ("glibc", "readline"), "Development/Languages"),
+    ("perl", "5.6.0", int(22.0 * MB), ("glibc",), "Development/Languages"),
+    ("tcl", "8.3.3", int(2.3 * MB), ("glibc",), "Development/Languages"),
+    ("tk", "8.3.3", int(2.8 * MB), ("tcl",), "Development/Languages"),
+    ("expect", "5.32.2", int(1.3 * MB), ("tcl",), "Development/Languages"),
+    # editors and interactive tools
+    ("vim-minimal", "5.8", int(0.9 * MB), ("glibc",), "Applications/Editors"),
+    ("vim-common", "5.8", int(4.8 * MB), ("vim-minimal",), "Applications/Editors"),
+    ("emacs", "20.7", int(32.0 * MB), ("ncurses",), "Applications/Editors"),
+    ("less", "358", int(0.2 * MB), ("ncurses",), "Applications/Text"),
+    ("which", "2.12", int(0.02 * MB), ("glibc",), "Applications/System"),
+    ("file", "3.35", int(0.3 * MB), ("glibc",), "Applications/File"),
+    ("findutils", "4.1.7", int(0.3 * MB), ("glibc",), "Applications/File"),
+    ("diffutils", "2.7.2", int(0.2 * MB), ("glibc",), "Applications/Text"),
+    ("man", "1.5i2", int(0.5 * MB), ("less",), "System Environment/Base"),
+    ("man-pages", "1.39", int(5.0 * MB), (), "Documentation"),
+    ("rsync", "2.4.6", int(0.3 * MB), ("glibc",), "Applications/Internet"),
+    ("screen", "3.9.9", int(0.6 * MB), ("ncurses",), "Applications/System"),
+    ("sudo", "1.6.3p7", int(0.4 * MB), ("pam",), "Applications/System"),
+    # X (frontend-only in practice, present in the tree)
+    ("XFree86-libs", "4.1.0", int(8.2 * MB), ("glibc",), "User Interface/X"),
+    ("XFree86", "4.1.0", int(30.0 * MB), ("XFree86-libs",), "User Interface/X"),
+    ("xterm", "4.1.0", int(0.6 * MB), ("XFree86-libs",), "User Interface/X"),
+]
+
+#: number of generated filler library packages in the stock tree
+BASE_FILLER_COUNT = 420
+#: filler packages the synthetic "base" meta-package pulls onto every node
+_BASE_PULL_COUNT = 77
+
+
+def _filler_name(i: int) -> str:
+    return f"lib{_SYLLABLES[i % len(_SYLLABLES)]}{i:03d}"
+
+
+_SYLLABLES = (
+    "xml", "jpeg", "png", "tiff", "gd", "ldap", "krb", "audio", "term",
+    "gmp", "mm", "cap", "elf", "ffm", "ogg", "pci", "usb", "wrap",
+)
+
+
+def stock_redhat(
+    version: str = "7.2",
+    seed: int = 7,
+    filler: int = BASE_FILLER_COUNT,
+    arch: str = "i386",
+) -> Repository:
+    """Generate the stock Red Hat tree: curated core + filler libraries.
+
+    Deterministic in (version, seed, filler, arch).
+    """
+    rng = random.Random((seed, version, arch, filler).__repr__())
+    repo = Repository(f"redhat-{version}")
+    for name, ver, size, reqs, group in _CORE:
+        repo.add(
+            Package(
+                name=name,
+                version=ver,
+                release="5",
+                arch="noarch" if group == "Documentation" else arch,
+                size=size,
+                group=group,
+                summary=f"{name} from the stock tree",
+                requires=tuple(Dependency(r) for r in reqs),
+            )
+        )
+    # Filler libraries: lognormal-ish sizes averaging ~1.1 MB so that the
+    # compute closure (core subset + _BASE_PULL_COUNT of these) lands on
+    # the paper's 225 MB.
+    base_reqs: list[str] = []
+    for i in range(filler):
+        size = int(min(rng.lognormvariate(13.0, 0.85), 12 * MB))
+        pkg = Package(
+            name=_filler_name(i),
+            version=f"{rng.randint(0, 4)}.{rng.randint(0, 9)}.{rng.randint(0, 9)}",
+            release=str(rng.randint(1, 9)),
+            arch=arch,
+            size=size,
+            group="System Environment/Libraries",
+            summary="support library",
+            requires=(Dependency("glibc"),),
+        )
+        repo.add(pkg)
+        if i < _BASE_PULL_COUNT:
+            base_reqs.append(pkg.name)
+    # The "base" meta-package: what every kickstarted node drags in.
+    repo.add(
+        Package(
+            name="basesystem",
+            version="7.0",
+            release="2",
+            arch="noarch",
+            size=4096,
+            group="System Environment/Base",
+            summary="The skeleton package which defines a basic Red Hat system",
+            requires=tuple(
+                Dependency(n)
+                for n in (
+                    "setup", "filesystem", "glibc", "bash", "dev", "rpm",
+                    "initscripts", "fileutils", "textutils", "sh-utils",
+                    "grep", "gawk", "sed", "tar", "gzip", "procps",
+                    "net-tools", "modutils", "mount", "e2fsprogs",
+                    "util-linux", "shadow-utils", "mingetty", "vixie-cron",
+                    "crontabs", "logrotate", "sysklogd", "mkinitrd", "grub",
+                    "kernel", "dhcpcd", "which", "file", "findutils",
+                    "diffutils", "less", "vim-minimal", "psmisc", "iputils",
+                    "info", "man", "man-pages", "ntp",
+                )
+                + tuple(base_reqs)
+            ),
+        )
+    )
+    return repo
+
+
+def community_packages(arch: str = "i386") -> Repository:
+    """Cluster software Rocks bundles from the community (§4.1)."""
+    repo = Repository("community")
+    entries = [
+        # (name, version, size MB, requires, summary)
+        ("mpich", "1.2.2", 10.0, ("gcc", "gcc-g77"), "MPICH message passing (Ethernet + Myrinet devices)"),
+        ("mpich-devel", "1.2.2", 6.0, ("mpich",), "MPICH headers and mpirun"),
+        ("pvm", "3.4.3", 3.5, ("gcc",), "Parallel Virtual Machine (Ethernet device)"),
+        ("atlas", "3.2.1", 8.0, ("glibc",), "ATLAS optimised BLAS from UTK ICL"),
+        ("intel-mkl", "5.1", 12.0, ("glibc",), "Intel Math Kernel Library"),
+        ("pbs", "2.3.12", 4.2, ("initscripts",), "Portable Batch System workload manager"),
+        ("pbs-mom", "2.3.12", 1.1, ("pbs",), "PBS execution daemon for compute nodes"),
+        ("maui", "3.0.6", 2.0, ("pbs",), "Maui scheduler"),
+        ("rexec", "1.4", 0.4, ("openssl",), "UC Berkeley transparent remote execution"),
+        ("ganglia-monitor-core", "2.1.1", 0.5, ("initscripts",), "Millennium cluster monitor"),
+    ]
+    for name, ver, size, reqs, summary in entries:
+        repo.add(
+            Package(
+                name=name,
+                version=ver,
+                release="1",
+                arch=arch,
+                size=int(size * MB),
+                group="Applications/Engineering",
+                summary=summary,
+                requires=tuple(Dependency(r) for r in reqs),
+                vendor="community",
+            )
+        )
+    # Myrinet GM driver ships as a SOURCE rpm: nodes rebuild it per-kernel.
+    repo.add(
+        Package(
+            name="myrinet-gm",
+            version="1.4",
+            release="1",
+            arch="src",
+            size=int(2.8 * MB),
+            group="System Environment/Kernel",
+            summary="Myricom GM driver source (rebuilt on-node per kernel)",
+            is_source=True,
+            vendor="community",
+        )
+    )
+    return repo
+
+
+def npaci_packages(version: str = "2.2.1", arch: str = "noarch") -> Repository:
+    """The NPACI-built local packages (the software this paper describes)."""
+    repo = Repository("npaci")
+    entries = [
+        ("rocks-dist", 0.3, "Distribution building and mirroring tool"),
+        ("rocks-ekv", 0.1, "Ethernet keyboard and video for kickstart installs"),
+        ("rocks-insert-ethers", 0.1, "Populate the cluster database from DHCP requests"),
+        ("rocks-shoot-node", 0.05, "Remote reinstallation trigger and monitor"),
+        ("rocks-cluster-tools", 0.2, "cluster-fork, cluster-kill and friends"),
+        ("rocks-kickstart-profiles", 0.4, "XML node and graph files for all appliances"),
+        ("rocks-sql", 0.2, "Cluster configuration database schema and reports"),
+    ]
+    for name, size, summary in entries:
+        repo.add(
+            Package(
+                name=name,
+                version=version,
+                release="1",
+                arch=arch,
+                size=int(size * MB),
+                group="System Environment/Base",
+                summary=summary,
+                requires=(Dependency("python"),),
+                vendor="NPACI",
+            )
+        )
+    return repo
+
+
+# ---------------------------------------------------------------------------
+# Update stream (§6.2.1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Update:
+    """One released update: day offset, the new package, security flag."""
+
+    day: int
+    package: Package
+    security: bool
+    advisory: str
+
+
+class UpdateStream:
+    """A deterministic year of vendor updates against a base repository.
+
+    Defaults reproduce the paper's §6.2.1 statistics for Red Hat 6.2:
+    124 updated packages in under a year (one every ~3 days) with 74
+    reported vulnerabilities, "several" of which drew targeted updates.
+    """
+
+    def __init__(
+        self,
+        base: Repository,
+        seed: int = 62,
+        updates_per_year: int = 124,
+        security_fraction: float = 0.45,
+        days: int = 360,
+    ):
+        self.base = base
+        self.days = days
+        rng = random.Random((seed, updates_per_year, days).__repr__())
+        names = [n for n in base.names() if not n.startswith("lib")]
+        names += [n for n in base.names() if n.startswith("lib")][:40]
+        self._updates: list[Update] = []
+        day_gap = days / updates_per_year
+        day = 0.0
+        for i in range(updates_per_year):
+            day += rng.expovariate(1.0 / day_gap)
+            name = rng.choice(names)
+            current = base.latest(name)
+            new = Package(
+                name=current.name,
+                version=current.version,
+                release=f"{int(current.release.split('.')[0]) + 1 + i}",
+                arch=current.arch,
+                size=current.size,
+                group=current.group,
+                summary=current.summary,
+                requires=current.requires,
+                provides=current.provides,
+            )
+            security = rng.random() < security_fraction
+            self._updates.append(
+                Update(
+                    day=int(min(day, days - 1)),
+                    package=new,
+                    security=security,
+                    advisory=f"RHSA-2001:{900 + i}" if security else f"RHBA-2001:{900 + i}",
+                )
+            )
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def __iter__(self) -> Iterator[Update]:
+        return iter(self._updates)
+
+    def released_by(self, day: int) -> list[Update]:
+        """All updates published on or before ``day``."""
+        return [u for u in self._updates if u.day <= day]
+
+    def security_updates(self) -> list[Update]:
+        return [u for u in self._updates if u.security]
+
+    def updates_repository(self, day: Optional[int] = None) -> Repository:
+        """The updates mirror as of ``day`` (default: everything)."""
+        repo = Repository(f"{self.base.name}-updates")
+        for u in self._updates if day is None else self.released_by(day):
+            repo.add(u.package)
+        return repo
+
+    def mean_days_between_updates(self) -> float:
+        return self.days / max(len(self._updates), 1)

@@ -1,0 +1,131 @@
+"""RPM version comparison — a faithful reimplementation of ``rpmvercmp``.
+
+``rocks-dist`` "resolves version numbers of RPMs and only includes the
+most recent software" (paper §6.2.1); that resolution is exactly RPM's
+Epoch:Version-Release comparison, so we implement the real algorithm:
+
+* strings are split into maximal alphabetic or numeric segments,
+  separators are ignored except as segment boundaries;
+* numeric segments compare as integers (leading zeros stripped) and
+  always beat alphabetic segments;
+* a tilde segment sorts *before* everything, including the empty string
+  (the modern pre-release convention);
+* when one string is a prefix of the other, the longer wins.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import total_ordering
+
+__all__ = ["rpmvercmp", "EVR", "label_compare", "parse_evr"]
+
+_SEGMENT = re.compile(r"(\d+|[a-zA-Z]+|~)")
+
+
+def _tokens(s: str) -> list[str]:
+    return _SEGMENT.findall(s)
+
+
+def rpmvercmp(a: str, b: str) -> int:
+    """Compare two version (or release) strings RPM-style.
+
+    Returns -1, 0, or 1 as ``a`` is older than, equal to, or newer than
+    ``b``.
+    """
+    if a == b:
+        return 0
+    ta, tb = _tokens(a), _tokens(b)
+    for xa, xb in zip(ta, tb):
+        if xa == "~" or xb == "~":
+            if xa != xb:
+                return -1 if xa == "~" else 1
+            continue
+        a_num, b_num = xa.isdigit(), xb.isdigit()
+        if a_num and b_num:
+            ia, ib = int(xa), int(xb)
+            if ia != ib:
+                return -1 if ia < ib else 1
+        elif a_num != b_num:
+            # numeric segments are always newer than alphabetic ones
+            return 1 if a_num else -1
+        else:
+            if xa != xb:
+                return -1 if xa < xb else 1
+    # Common prefix equal: a trailing tilde makes a string older;
+    # otherwise the string with more segments is newer.
+    if len(ta) == len(tb):
+        return 0
+    rest = ta[len(tb):] if len(ta) > len(tb) else tb[len(ta):]
+    if rest and rest[0] == "~":
+        return -1 if len(ta) > len(tb) else 1
+    return 1 if len(ta) > len(tb) else -1
+
+
+@total_ordering
+@dataclass(frozen=True)
+class EVR:
+    """An Epoch:Version-Release triple with RPM ordering semantics."""
+
+    version: str
+    release: str = ""
+    epoch: int = 0
+
+    def __str__(self) -> str:
+        core = self.version if not self.release else f"{self.version}-{self.release}"
+        return core if self.epoch == 0 else f"{self.epoch}:{core}"
+
+    def compare(self, other: "EVR") -> int:
+        if self.epoch != other.epoch:
+            return -1 if self.epoch < other.epoch else 1
+        c = rpmvercmp(self.version, other.version)
+        if c != 0:
+            return c
+        # An empty release matches any release (used by versioned deps
+        # written as just "1.2").
+        if not self.release or not other.release:
+            return 0
+        return rpmvercmp(self.release, other.release)
+
+    def strictly_compare(self, other: "EVR") -> int:
+        """Like :meth:`compare` but an empty release sorts oldest."""
+        if self.epoch != other.epoch:
+            return -1 if self.epoch < other.epoch else 1
+        c = rpmvercmp(self.version, other.version)
+        if c != 0:
+            return c
+        return rpmvercmp(self.release, other.release)
+
+    def __lt__(self, other: "EVR") -> bool:
+        return self.strictly_compare(other) < 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EVR):
+            return NotImplemented
+        return (
+            self.epoch == other.epoch
+            and self.version == other.version
+            and self.release == other.release
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.epoch, self.version, self.release))
+
+
+def parse_evr(text: str) -> EVR:
+    """Parse ``[epoch:]version[-release]`` into an :class:`EVR`."""
+    epoch = 0
+    if ":" in text:
+        head, text = text.split(":", 1)
+        epoch = int(head)
+    if "-" in text:
+        version, release = text.rsplit("-", 1)
+    else:
+        version, release = text, ""
+    return EVR(version=version, release=release, epoch=epoch)
+
+
+def label_compare(a: str, b: str) -> int:
+    """Compare two ``[epoch:]version[-release]`` labels."""
+    return parse_evr(a).compare(parse_evr(b))

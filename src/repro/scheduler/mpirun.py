@@ -1,0 +1,104 @@
+"""mpirun: interactive parallel launch over REXEC (§4.1).
+
+"For interactive and development environments, Rocks includes mpirun
+from the MPICH distribution and REXEC...  REXEC provides transparent,
+secure remote execution of parallel and sequential jobs."
+
+This mpirun selects N up nodes (a machinefile, or every compute node),
+assigns MPI ranks, propagates the caller's environment plus the
+``MPI_RANK``/``MPI_NPROCS`` variables MPICH's ch_p4 device exports, and
+returns a session whose stdio and signals behave like §4.1 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Sequence
+
+from .rexec import RemoteCommand, RemoteEnvironment, Rexec, RexecSession
+
+__all__ = ["Mpirun", "MpirunError"]
+
+
+class MpirunError(Exception):
+    """Not enough nodes, or a bad launch request."""
+
+
+class Mpirun:
+    """The mpirun client on the frontend."""
+
+    def __init__(
+        self,
+        rexec: Rexec,
+        default_machinefile: Callable[[], list[str]],
+    ):
+        """``default_machinefile`` lists candidate hostnames (e.g. the
+        database's compute members) when the caller gives none."""
+        self.rexec = rexec
+        self.default_machinefile = default_machinefile
+
+    def _up_hosts(self, machinefile: Optional[Sequence[str]]) -> list[str]:
+        candidates = (
+            list(machinefile)
+            if machinefile is not None
+            else self.default_machinefile()
+        )
+        up = []
+        for host in candidates:
+            try:
+                machine = self.rexec.resolve(host)
+            except KeyError:
+                continue
+            if machine.is_up:
+                up.append(host)
+        return up
+
+    def run(
+        self,
+        np: int,
+        command: RemoteCommand,
+        environment: RemoteEnvironment,
+        machinefile: Optional[Sequence[str]] = None,
+        program: str = "a.out",
+    ) -> RexecSession:
+        """``mpirun -np N command``.
+
+        Ranks wrap around the machinefile when N exceeds the node count
+        (MPICH's default round-robin placement).  Every rank's
+        environment carries MPI_RANK and MPI_NPROCS, and the program
+        name appears in each node's process table for cluster-ps.
+        """
+        if np <= 0:
+            raise MpirunError("mpirun: -np must be positive")
+        hosts = self._up_hosts(machinefile)
+        if not hosts:
+            raise MpirunError("mpirun: no up nodes available")
+        placement = [hosts[i % len(hosts)] for i in range(np)]
+
+        def rank_command(machine, proc):
+            machine.user_processes.append(program)
+            try:
+                return command(machine, proc)
+            finally:
+                if program in machine.user_processes:
+                    machine.user_processes.remove(program)
+
+        # per-rank environments: REXEC propagates, mpirun decorates
+        sessions = []
+        processes = []
+        unreachable: list[str] = []
+        for rank, host in enumerate(placement):
+            rank_env = replace(
+                environment,
+                variables={
+                    **environment.variables,
+                    "MPI_RANK": str(rank),
+                    "MPI_NPROCS": str(np),
+                },
+            )
+            session = self.rexec.run([host], rank_command, rank_env)
+            processes.extend(session.processes)
+            unreachable.extend(session.unreachable)
+            for proc in session.processes:
+                proc.rank = rank
+        return RexecSession(processes, unreachable)

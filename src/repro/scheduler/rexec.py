@@ -1,0 +1,137 @@
+"""REXEC: UC Berkeley's transparent remote execution (§4.1).
+
+"REXEC provides transparent, secure remote execution of parallel and
+sequential jobs.  It has a sophisticated signal handling system which
+provides remote forwarding of signals.  REXEC also redirects stdin,
+stdout and stderr from each parallel process and it propagates a local
+environment including environment variables, user ID, group ID and
+current working directory."
+
+The simulated rexecd runs a Python callable "command" per selected node,
+capturing its stdout/stderr and honouring forwarded signals; this is
+also the transport cluster-fork/cluster-kill ride on (§6.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..cluster import Machine, MachineState
+from ..netsim import Environment
+
+__all__ = ["Rexec", "RexecSession", "RemoteProcess", "Signal", "RemoteEnvironment"]
+
+
+class Signal(enum.Enum):
+    SIGTERM = 15
+    SIGKILL = 9
+    SIGINT = 2
+    SIGUSR1 = 10
+
+
+@dataclass(frozen=True)
+class RemoteEnvironment:
+    """What REXEC propagates from the submitting shell."""
+
+    user: str
+    uid: int
+    gid: int
+    cwd: str
+    variables: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class RemoteProcess:
+    """One process of a (possibly parallel) rexec job."""
+
+    host: str
+    rank: int
+    env: RemoteEnvironment
+    stdout: list[str] = field(default_factory=list)
+    stderr: list[str] = field(default_factory=list)
+    exit_code: Optional[int] = None
+    signals_received: list[Signal] = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        return self.exit_code is not None
+
+
+#: a command is fn(machine, process) -> exit_code; it may write to
+#: process.stdout/stderr and read the propagated environment
+RemoteCommand = Callable[[Machine, RemoteProcess], int]
+
+
+class RexecSession:
+    """A dispatched command: one RemoteProcess per node."""
+
+    def __init__(self, processes: list[RemoteProcess], unreachable: list[str]):
+        self.processes = processes
+        self.unreachable = unreachable
+
+    @property
+    def stdout(self) -> list[str]:
+        """Interleaved stdout, each line tagged with its origin (rank)."""
+        out = []
+        for p in self.processes:
+            out.extend(f"{p.host}: {line}" for line in p.stdout)
+        return out
+
+    @property
+    def exit_codes(self) -> dict[str, Optional[int]]:
+        return {p.host: p.exit_code for p in self.processes}
+
+    @property
+    def ok(self) -> bool:
+        return not self.unreachable and all(
+            p.exit_code == 0 for p in self.processes
+        )
+
+    def forward_signal(self, signal: Signal) -> int:
+        """Deliver a local signal to every remote process; returns count."""
+        n = 0
+        for p in self.processes:
+            if not p.finished:
+                p.signals_received.append(signal)
+                if signal in (Signal.SIGTERM, Signal.SIGKILL, Signal.SIGINT):
+                    p.exit_code = 128 + signal.value
+                n += 1
+        return n
+
+
+class Rexec:
+    """The rexec client + per-node daemons."""
+
+    def __init__(self, env: Environment, resolve: Callable[[str], Machine]):
+        """``resolve`` maps a hostname to its Machine (the cluster view)."""
+        self.env = env
+        self.resolve = resolve
+
+    def run(
+        self,
+        hosts: Sequence[str],
+        command: RemoteCommand,
+        environment: RemoteEnvironment,
+    ) -> RexecSession:
+        """Execute ``command`` on each reachable, up host."""
+        processes: list[RemoteProcess] = []
+        unreachable: list[str] = []
+        for rank, host in enumerate(hosts):
+            try:
+                machine = self.resolve(host)
+            except KeyError:
+                unreachable.append(host)
+                continue
+            if machine.state is not MachineState.UP:
+                unreachable.append(host)
+                continue
+            proc = RemoteProcess(host=host, rank=rank, env=environment)
+            try:
+                proc.exit_code = command(machine, proc)
+            except Exception as err:
+                proc.stderr.append(str(err))
+                proc.exit_code = 1
+            processes.append(proc)
+        return RexecSession(processes, unreachable)

@@ -1,0 +1,33 @@
+"""Simulated cluster services: syslog, DHCP, HTTP install server, NIS, NFS."""
+
+from .base import Service, ServiceError, ServiceState
+from .monitor import ClusterMonitor, Metrics, MonitorDaemon, enable_monitoring
+from .dhcpd import DhcpBinding, DhcpLease, DhcpServer
+from .httpd import KICKSTART_CGI_PATH, InstallServer, rpms_prefix
+from .nfs import NfsMount, NfsServer, StaleFileHandle
+from .nis import NisClient, NisDomain, UserAccount
+from .syslogd import Syslog, SyslogMessage
+
+__all__ = [
+    "Service",
+    "ClusterMonitor",
+    "Metrics",
+    "MonitorDaemon",
+    "enable_monitoring",
+    "ServiceError",
+    "ServiceState",
+    "DhcpBinding",
+    "DhcpLease",
+    "DhcpServer",
+    "KICKSTART_CGI_PATH",
+    "InstallServer",
+    "rpms_prefix",
+    "NfsMount",
+    "NfsServer",
+    "StaleFileHandle",
+    "NisClient",
+    "NisDomain",
+    "UserAccount",
+    "Syslog",
+    "SyslogMessage",
+]

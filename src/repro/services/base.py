@@ -1,0 +1,75 @@
+"""Common machinery for simulated cluster services.
+
+Rocks regenerates service configuration files from database reports and
+*restarts the respective services* (§6.4, insert-ethers).  Every service
+therefore exposes the same small lifecycle — configure / start / stop /
+restart — plus a restart counter so tests and benchmarks can observe the
+regenerate-and-restart pattern.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+__all__ = ["Service", "ServiceState", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A service was used in a state it cannot serve from."""
+
+
+class ServiceState(enum.Enum):
+    STOPPED = "stopped"
+    RUNNING = "running"
+    FAILED = "failed"  # common-mode failure (§4: "often NFS")
+
+
+class Service:
+    """Base class: named service with a config text and lifecycle."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.state = ServiceState.STOPPED
+        self.config_text: str = ""
+        self.restarts = 0
+        self.config_generation = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        if self.state is ServiceState.RUNNING:
+            return
+        self.state = ServiceState.RUNNING
+
+    def stop(self) -> None:
+        self.state = ServiceState.STOPPED
+
+    def restart(self) -> None:
+        self.stop()
+        self.start()
+        self.restarts += 1
+
+    def fail(self) -> None:
+        """Inject a failure (the service stays dead until repaired)."""
+        self.state = ServiceState.FAILED
+
+    def repair(self) -> None:
+        if self.state is ServiceState.FAILED:
+            self.state = ServiceState.RUNNING
+
+    @property
+    def running(self) -> bool:
+        return self.state is ServiceState.RUNNING
+
+    def require_running(self) -> None:
+        if not self.running:
+            raise ServiceError(f"{self.name} is {self.state.value}")
+
+    # -- configuration ---------------------------------------------------------
+    def configure(self, config_text: str) -> None:
+        """Install a new config file; takes effect on the next restart."""
+        self.config_text = config_text
+        self.config_generation += 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.name!r}, {self.state.value})"

@@ -1,0 +1,123 @@
+"""The install web server.
+
+"For installation, compute nodes use Kickstart's HTTP method to pull
+RPMs across the network" (§5).  This wraps the netsim HTTP layer with
+distribution publishing: a repository's packages appear under
+``/install/<dist>/RedHat/RPMS/<filename>`` and the kickstart CGI is
+mounted at ``/install/kickstart.cgi`` — the URL layout of a real Rocks
+frontend.  Replication for load balancing (§6.3) reuses
+:class:`repro.netsim.LoadBalancer`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..netsim import (
+    DEFAULT_HTTP_EFFICIENCY,
+    Environment,
+    HttpServer,
+    LoadBalancer,
+    Network,
+    Process,
+)
+from ..rpm import Package, Repository
+from .base import Service
+
+__all__ = ["InstallServer", "rpms_prefix", "KICKSTART_CGI_PATH"]
+
+KICKSTART_CGI_PATH = "/install/kickstart.cgi"
+
+
+def rpms_prefix(dist_name: str) -> str:
+    """URL prefix for a distribution's binary packages."""
+    return f"/install/{dist_name}/RedHat/RPMS"
+
+
+class InstallServer(Service):
+    """httpd on the frontend (or a replica), serving RPMs and kickstarts."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        host: str,
+        efficiency: float = DEFAULT_HTTP_EFFICIENCY,
+    ):
+        super().__init__(f"httpd/{host}")
+        self.env = env
+        self.host = host
+        self.http = HttpServer(network, host, efficiency=efficiency)
+        self._published: dict[str, dict[str, Package]] = {}
+        self.start()
+
+    # -- lifecycle glue -------------------------------------------------------
+    def start(self) -> None:
+        super().start()
+        self.http.running = True
+
+    def stop(self) -> None:
+        super().stop()
+        self.http.running = False
+
+    def fail(self) -> None:
+        super().fail()
+        self.http.running = False
+
+    def repair(self) -> None:
+        super().repair()
+        self.http.running = self.running
+
+    # -- publishing --------------------------------------------------------------
+    def publish_packages(
+        self, dist_name: str, packages: Union[Repository, list[Package]]
+    ) -> int:
+        """Expose a package set as distribution ``dist_name``; returns count."""
+        prefix = rpms_prefix(dist_name)
+        index = self._published.setdefault(dist_name, {})
+        n = 0
+        for pkg in packages:
+            self.http.publish(f"{prefix}/{pkg.filename}", pkg.size)
+            index[pkg.filename] = pkg
+            n += 1
+        return n
+
+    def unpublish_distribution(self, dist_name: str) -> None:
+        prefix = rpms_prefix(dist_name)
+        for filename in self._published.pop(dist_name, {}):
+            self.http.unpublish(f"{prefix}/{filename}")
+
+    def distributions(self) -> list[str]:
+        return sorted(self._published)
+
+    def package_index(self, dist_name: str) -> dict[str, Package]:
+        """Filename -> package map for a published distribution."""
+        return dict(self._published.get(dist_name, {}))
+
+    def register_kickstart_cgi(self, handler) -> None:
+        """Mount the kickstart generator at the canonical CGI path."""
+        self.http.register_cgi(KICKSTART_CGI_PATH, handler)
+
+    # -- client operations ----------------------------------------------------------
+    def fetch_package(
+        self,
+        client: str,
+        dist_name: str,
+        pkg: Package,
+        max_rate: Optional[float] = None,
+    ) -> Process:
+        """GET one RPM (a process; yields the HttpResponse)."""
+        return self.http.get(
+            client, f"{rpms_prefix(dist_name)}/{pkg.filename}", max_rate=max_rate
+        )
+
+    def fetch_kickstart(self, client: str) -> Process:
+        return self.http.get(client, KICKSTART_CGI_PATH)
+
+    @property
+    def bytes_served(self) -> float:
+        return self.http.bytes_served
+
+    @property
+    def requests_served(self) -> int:
+        return self.http.requests_served

@@ -1,0 +1,122 @@
+"""Cluster health monitoring (Ganglia-style heartbeats).
+
+The paper's §2 credits SCE's "impressive web and VRML" monitoring and
+§Acknowledgements the UC Berkeley Millennium group (Matt Massie — whose
+Ganglia monitor Rocks shipped as ``ganglia-monitor-core``; it appears in
+the community package list here too).  The model: every node runs a
+monitor daemon multicasting a heartbeat plus a few metrics; the frontend
+aggregates them and flags nodes whose heartbeats go stale — which is how
+an administrator notices a node needs shoot-node in the first place.
+
+Monitoring is *opt-in* (daemons are perpetual processes) — call
+:func:`enable_monitoring` on a built cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cluster import Machine, MachineState
+from ..netsim import Environment
+from .base import Service
+
+__all__ = ["Metrics", "MonitorDaemon", "ClusterMonitor", "enable_monitoring"]
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """One heartbeat's payload."""
+
+    host: str
+    time: float
+    state: str
+    load: int  # running user processes
+    packages: int
+    kernel: Optional[str]
+    install_count: int
+
+
+class ClusterMonitor(Service):
+    """The frontend-side aggregator (gmetad-ish)."""
+
+    def __init__(self, env: Environment, heartbeat_seconds: float = 10.0):
+        super().__init__("cluster-monitor")
+        self.env = env
+        self.heartbeat_seconds = heartbeat_seconds
+        self._last: dict[str, Metrics] = {}
+        self.heartbeats_received = 0
+        self.start()
+
+    def publish(self, metrics: Metrics) -> None:
+        if not self.running:
+            return
+        self._last[metrics.host] = metrics
+        self.heartbeats_received += 1
+
+    def snapshot(self) -> dict[str, Metrics]:
+        return dict(self._last)
+
+    def age(self, host: str) -> float:
+        """Seconds since the host's last heartbeat (inf if never seen)."""
+        m = self._last.get(host)
+        return float("inf") if m is None else self.env.now - m.time
+
+    def down_hosts(self, threshold: Optional[float] = None) -> list[str]:
+        """Hosts whose heartbeat is stale — shoot-node candidates."""
+        limit = threshold if threshold is not None else 3 * self.heartbeat_seconds
+        return sorted(h for h in self._last if self.age(h) > limit)
+
+    def up_hosts(self, threshold: Optional[float] = None) -> list[str]:
+        limit = threshold if threshold is not None else 3 * self.heartbeat_seconds
+        return sorted(h for h in self._last if self.age(h) <= limit)
+
+    def report(self) -> str:
+        """A textual cluster-status page (the SCE web view, minus VRML)."""
+        lines = [f"{'host':<16} {'state':<12} {'age':>6} {'load':>5} {'pkgs':>5}"]
+        for host in sorted(self._last):
+            m = self._last[host]
+            lines.append(
+                f"{host:<16} {m.state:<12} {self.age(host):>5.0f}s "
+                f"{m.load:>5} {m.packages:>5}"
+            )
+        return "\n".join(lines)
+
+
+class MonitorDaemon:
+    """The per-node gmond: heartbeats while the node is up."""
+
+    def __init__(self, monitor: ClusterMonitor, machine: Machine):
+        self.monitor = monitor
+        self.machine = machine
+        self.beats_sent = 0
+        self._proc = machine.env.process(
+            self._loop(), name=f"gmond:{machine.hostid}"
+        )
+
+    def _loop(self):
+        env = self.machine.env
+        while True:
+            if self.machine.state is MachineState.UP:
+                self.monitor.publish(
+                    Metrics(
+                        host=self.machine.hostid,
+                        time=env.now,
+                        state=self.machine.state.value,
+                        load=len(self.machine.user_processes),
+                        packages=len(self.machine.rpmdb),
+                        kernel=self.machine.kernel_version,
+                        install_count=self.machine.install_count,
+                    )
+                )
+                self.beats_sent += 1
+            yield env.timeout(self.monitor.heartbeat_seconds)
+
+
+def enable_monitoring(env: Environment, machines: list[Machine],
+                      heartbeat_seconds: float = 10.0) -> ClusterMonitor:
+    """Start a monitor and one daemon per machine; returns the aggregator."""
+    monitor = ClusterMonitor(env, heartbeat_seconds=heartbeat_seconds)
+    for machine in machines:
+        MonitorDaemon(monitor, machine)
+    return monitor

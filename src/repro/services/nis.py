@@ -1,0 +1,88 @@
+"""Network Information Service: account synchronisation.
+
+"User account configuration (passwords and home directory locations)
+are synchronized from the frontend node to compute nodes with the
+Network Information Service" (§5).  We model the NIS domain as a master
+map on the frontend that bound clients read through — a *dynamic,
+scalable* service in the paper's taxonomy, so reads reflect the master
+immediately (clients hold no stale copy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .base import Service, ServiceError
+
+__all__ = ["NisDomain", "NisClient", "UserAccount"]
+
+
+@dataclass(frozen=True)
+class UserAccount:
+    """A passwd-map entry."""
+
+    username: str
+    uid: int
+    home: str
+    shell: str = "/bin/bash"
+
+    def passwd_line(self) -> str:
+        return f"{self.username}:x:{self.uid}:{self.uid}::{self.home}:{self.shell}"
+
+
+class NisDomain(Service):
+    """ypserv on the frontend: the master passwd map."""
+
+    def __init__(self, domain: str):
+        super().__init__(f"ypserv/{domain}")
+        self.domain = domain
+        self._users: dict[str, UserAccount] = {}
+        self.map_version = 0
+
+    def add_user(self, account: UserAccount) -> None:
+        if account.username in self._users:
+            raise ValueError(f"user {account.username!r} already exists")
+        if any(u.uid == account.uid for u in self._users.values()):
+            raise ValueError(f"uid {account.uid} already in use")
+        self._users[account.username] = account
+        self.map_version += 1
+
+    def remove_user(self, username: str) -> None:
+        if username not in self._users:
+            raise KeyError(username)
+        del self._users[username]
+        self.map_version += 1
+
+    def lookup(self, username: str) -> Optional[UserAccount]:
+        self.require_running()
+        return self._users.get(username)
+
+    def passwd_map(self) -> str:
+        self.require_running()
+        return "\n".join(
+            self._users[u].passwd_line() for u in sorted(self._users)
+        )
+
+    def __len__(self) -> int:
+        return len(self._users)
+
+
+class NisClient(Service):
+    """ypbind on a compute node."""
+
+    def __init__(self, host: str, domain: NisDomain):
+        super().__init__(f"ypbind/{host}")
+        self.host = host
+        self.domain = domain
+
+    def getpwnam(self, username: str) -> UserAccount:
+        """Resolve a user through the bound domain (raises if unbound)."""
+        self.require_running()
+        try:
+            account = self.domain.lookup(username)
+        except ServiceError as err:
+            raise ServiceError(f"NIS lookup failed on {self.host}: {err}") from err
+        if account is None:
+            raise KeyError(f"user {username!r} unknown in domain {self.domain.domain}")
+        return account

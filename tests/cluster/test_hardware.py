@@ -1,0 +1,85 @@
+"""Tests for the hardware catalog and MAC allocation."""
+
+import pytest
+
+from repro.cluster import (
+    CATALOG,
+    Cpu,
+    CpuArch,
+    Disk,
+    DiskController,
+    MacAllocator,
+    NicKind,
+)
+
+
+def test_catalog_reference_machines():
+    ref = CATALOG["pIII-733-dual"]
+    assert ref.cpu.mhz == 733
+    assert ref.cpu.count == 2
+    compute = CATALOG["pIII-733-myri"]
+    assert compute.has_myrinet
+
+
+def test_cpu_relative_speed():
+    assert Cpu(CpuArch.I386, 733).relative_speed == pytest.approx(1.0)
+    assert Cpu(CpuArch.I386, 1000).relative_speed == pytest.approx(1.364, abs=0.01)
+
+
+def test_cpu_validation():
+    with pytest.raises(ValueError):
+        Cpu(CpuArch.I386, 0)
+    with pytest.raises(ValueError):
+        Cpu(CpuArch.I386, 733, 0)
+
+
+def test_disk_controller_drivers():
+    assert DiskController.SCSI.driver_module == "aic7xxx"
+    assert DiskController.IDE.driver_module == "ide-disk"
+    assert DiskController.RAID.driver_module == "megaraid"
+
+
+def test_disk_device_names():
+    assert Disk(DiskController.SCSI).device == "sda"
+    assert Disk(DiskController.IDE).device == "hda"
+    assert Disk(DiskController.RAID).device.startswith("rd/")
+
+
+def test_nic_kinds_have_modules():
+    assert NicKind.ETHERNET.driver_module == "eepro100"
+    assert NicKind.MYRINET.driver_module == "gm"
+
+
+def test_spec_nics_include_myrinet():
+    spec = CATALOG["pIII-733-myri"]
+    nics = spec.nics("00:50:8b:00:00:01")
+    assert [n.kind for n in nics] == [NicKind.ETHERNET, NicKind.MYRINET]
+    nics = CATALOG["pIII-733-dual"].nics("00:50:8b:00:00:02")
+    assert [n.kind for n in nics] == [NicKind.ETHERNET]
+
+
+def test_with_myrinet_derives_spec():
+    spec = CATALOG["athlon-1200"].with_myrinet()
+    assert spec.has_myrinet
+    assert not CATALOG["athlon-1200"].has_myrinet  # original untouched
+
+
+def test_mac_allocator_unique_and_deterministic():
+    a, b = MacAllocator(), MacAllocator()
+    seq_a = [a.allocate() for _ in range(300)]
+    seq_b = [b.allocate() for _ in range(300)]
+    assert seq_a == seq_b
+    assert len(set(seq_a)) == 300
+    assert all(m.startswith("00:50:8b:") for m in seq_a)
+
+
+def test_mac_allocator_rolls_octets():
+    alloc = MacAllocator()
+    for _ in range(257):
+        last = alloc.allocate()
+    assert last == "00:50:8b:00:01:00"
+
+
+def test_mac_allocator_bad_oui():
+    with pytest.raises(ValueError):
+        MacAllocator("00:50")

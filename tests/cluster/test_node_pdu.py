@@ -1,0 +1,283 @@
+"""Tests for machine lifecycle, PDU power control, and cabinets."""
+
+import pytest
+
+from repro.cluster import (
+    CATALOG,
+    BootTimes,
+    Cabinet,
+    CabinetFull,
+    ClusterHardware,
+    MachineState,
+    OutletError,
+    Partition,
+    PowerDistributionUnit,
+    PowerState,
+)
+from repro.netsim import Environment
+from repro.rpm import Package
+
+
+@pytest.fixture
+def hw():
+    env = Environment()
+    return env, ClusterHardware(env, seed=1)
+
+
+def preinstall_os(machine):
+    """Give the machine an 'installed OS' so it boots instead of installing."""
+    machine.rpmdb.install(Package("glibc", "2.2.4"))
+    machine.partitions["/"] = Partition("/", 4096, is_root=True)
+
+
+def test_machine_starts_off(hw):
+    _, cluster = hw
+    m = cluster.add_machine("pIII-733-myri")
+    assert m.power is PowerState.OFF
+    assert m.state is MachineState.OFF
+
+
+def test_boot_with_os_reaches_up(hw):
+    env, cluster = hw
+    m = cluster.add_machine("pIII-733-myri")
+    preinstall_os(m)
+    m.power_on()
+    env.run(until=m.wait_for_state(MachineState.UP))
+    assert m.is_up
+    # POST + boot_os, with jitter
+    assert 30 < env.now < 200
+
+
+def test_boot_without_os_and_without_installer_hangs(hw):
+    env, cluster = hw
+    m = cluster.add_machine("pIII-733-myri")
+    m.power_on()
+    env.run(until=m.wait_for_state(MachineState.HUNG))
+    assert m.state is MachineState.HUNG
+
+
+def test_install_driver_runs_on_first_boot(hw):
+    env, cluster = hw
+    m = cluster.add_machine("pIII-733-myri")
+    calls = []
+
+    def driver(machine):
+        calls.append(machine.hostid)
+        yield env.timeout(100)
+        machine.rpmdb.install(Package("glibc", "2.2.4"))
+        return "install-report"
+
+    m.install_driver = driver
+    m.power_on()
+    env.run(until=m.wait_for_state(MachineState.UP))
+    assert calls == [m.mac]
+    assert m.install_count == 1
+    assert m.last_install_report == "install-report"
+
+
+def test_request_reinstall_runs_driver_again(hw):
+    env, cluster = hw
+    m = cluster.add_machine("pIII-733-myri")
+    installs = []
+
+    def driver(machine):
+        yield env.timeout(50)
+        machine.rpmdb.wipe()
+        machine.rpmdb.install(Package("glibc", "2.2.4"))
+        installs.append(env.now)
+
+    m.install_driver = driver
+    m.power_on()
+    env.run(until=m.wait_for_state(MachineState.UP))
+    m.request_reinstall()
+    env.run(until=m.wait_for_state(MachineState.UP))
+    assert m.install_count == 2
+
+
+def test_hard_power_off_forces_reinstall(hw):
+    env, cluster = hw
+    m = cluster.add_machine("pIII-733-myri")
+    preinstall_os(m)
+
+    def driver(machine):
+        yield env.timeout(10)
+        machine.rpmdb.wipe()
+        machine.rpmdb.install(Package("glibc", "2.2.4"))
+
+    m.install_driver = driver
+    m.power_on()
+    env.run(until=m.wait_for_state(MachineState.UP))
+    assert m.install_count == 0  # booted straight up, no install
+    m.power_off(hard=True)
+    m.power_on()
+    env.run(until=m.wait_for_state(MachineState.UP))
+    assert m.install_count == 1  # hard cycle forced the reinstall
+
+
+def test_soft_reboot_does_not_reinstall(hw):
+    env, cluster = hw
+    m = cluster.add_machine("pIII-733-myri")
+    preinstall_os(m)
+    m.power_on()
+    env.run(until=m.wait_for_state(MachineState.UP))
+    m.reboot()
+    env.run(until=m.wait_for_state(MachineState.UP))
+    assert m.install_count == 0
+
+
+def test_power_loss_mid_install_wipes_root(hw):
+    env, cluster = hw
+    m = cluster.add_machine("pIII-733-myri")
+
+    def driver(machine):
+        machine.partitions["/"] = Partition("/", 4096, is_root=True)
+        machine.partitions["/"].data["half-written"] = True
+        machine.rpmdb.install(Package("glibc", "2.2.4"))
+        yield env.timeout(1000)
+
+    m.install_driver = driver
+    m.power_on()
+    env.run(until=m.wait_for_state(MachineState.INSTALLING))
+    env.run(until=env.now + 50)
+    m.power_off(hard=True)
+    assert len(m.rpmdb) == 0
+    assert m.partitions["/"].data == {}
+    assert m.reinstall_on_boot
+
+
+def test_nonroot_partition_survives_power_loss(hw):
+    env, cluster = hw
+    m = cluster.add_machine("pIII-733-myri")
+    m.partitions["/state"] = Partition("/state", 10_000)
+    m.partitions["/state"].data["scratch"] = [1, 2, 3]
+
+    def driver(machine):
+        machine.partitions["/"] = Partition("/", 4096, is_root=True)
+        yield env.timeout(1000)
+
+    m.install_driver = driver
+    m.power_on()
+    env.run(until=m.wait_for_state(MachineState.INSTALLING))
+    env.run(until=env.now + 10)
+    m.power_off(hard=True)
+    assert m.partitions["/state"].data == {"scratch": [1, 2, 3]}
+
+
+def test_console_records_lifecycle(hw):
+    env, cluster = hw
+    m = cluster.add_machine("pIII-733-myri")
+    preinstall_os(m)
+    m.power_on()
+    env.run(until=m.wait_for_state(MachineState.UP))
+    assert any("multi-user boot complete" in line for line in m.console)
+
+
+def test_link_follows_machine_state(hw):
+    env, cluster = hw
+    m = cluster.add_machine("pIII-733-myri")
+    f = cluster.add_machine("pIII-733-dual", name="frontend-0")
+    preinstall_os(m)
+    preinstall_os(f)
+    # Both off: links down.
+    assert not cluster.network.reachable(m.mac, f.mac)
+    m.power_on()
+    f.power_on()
+    env.run(until=m.wait_for_state(MachineState.UP))
+    env.run(until=f.wait_for_state(MachineState.UP))
+    assert cluster.network.reachable(m.mac, f.mac)
+    m.power_off()
+    assert not cluster.network.reachable(m.mac, f.mac)
+
+
+# -- PDU ---------------------------------------------------------------------
+
+
+def test_pdu_wiring_and_errors(hw):
+    env, cluster = hw
+    m = cluster.add_machine("pIII-733-myri")
+    pdu = PowerDistributionUnit(env, "pdu-test", n_outlets=2)
+    pdu.wire(0, m)
+    assert pdu.machine_at(0) is m
+    assert pdu.outlet_of(m) == 0
+    with pytest.raises(OutletError):
+        pdu.wire(0, m)
+    with pytest.raises(OutletError):
+        pdu.machine_at(1)
+    with pytest.raises(OutletError):
+        pdu.machine_at(7)
+    with pytest.raises(ValueError):
+        PowerDistributionUnit(env, "bad", n_outlets=0)
+
+
+def test_pdu_hard_cycle_reinstalls(hw):
+    env, cluster = hw
+    m = cluster.add_machine("pIII-733-myri")
+    preinstall_os(m)
+
+    def driver(machine):
+        yield env.timeout(10)
+        machine.rpmdb.install(Package("bash", "2.05"), nodeps=True)
+
+    m.install_driver = driver
+    m.power_on()
+    env.run(until=m.wait_for_state(MachineState.UP))
+    pdu, outlet = cluster.pdu_for(m)
+    env.process(pdu.hard_cycle(outlet))
+    env.run(until=m.wait_for_state(MachineState.INSTALLING))
+    env.run(until=m.wait_for_state(MachineState.UP))
+    assert m.install_count == 1
+    assert pdu.cycles_issued == 1
+
+
+# -- cabinets / assembly ---------------------------------------------------------
+
+
+def test_cabinet_assigns_ranks(hw):
+    env, cluster = hw
+    cab = cluster.add_cabinet(capacity=4)
+    machines = [cluster.add_machine("pIII-733-myri", cabinet=cab) for _ in range(3)]
+    assert [cluster.location(m) for m in machines] == [(0, 0), (0, 1), (0, 2)]
+    assert cab.machine_at(1) is machines[1]
+
+
+def test_cabinet_full(hw):
+    env, cluster = hw
+    cab = cluster.add_cabinet(capacity=1)
+    cluster.add_machine("pIII-733-myri", cabinet=cab)
+    with pytest.raises(CabinetFull):
+        cluster.add_machine("pIII-733-myri", cabinet=cab)
+
+
+def test_cluster_lookup_and_rename(hw):
+    _, cluster = hw
+    m = cluster.add_machine("pIII-733-myri")
+    assert cluster.by_mac(m.mac) is m
+    assert m.hostid == m.mac
+    cluster.rename(m, "compute-0-0")
+    assert cluster.by_name("compute-0-0") is m
+    assert cluster.find("compute-0-0") is m
+    assert cluster.find(m.mac) is m
+    assert m.hostid == "compute-0-0"
+
+
+def test_rename_collision_rejected(hw):
+    _, cluster = hw
+    a = cluster.add_machine("pIII-733-myri")
+    b = cluster.add_machine("pIII-733-myri")
+    cluster.rename(a, "compute-0-0")
+    with pytest.raises(ValueError):
+        cluster.rename(b, "compute-0-0")
+
+
+def test_unknown_model_rejected(hw):
+    _, cluster = hw
+    with pytest.raises(KeyError, match="catalog"):
+        cluster.add_machine("cray-1")
+
+
+def test_unknown_lookup_raises(hw):
+    _, cluster = hw
+    with pytest.raises(KeyError):
+        cluster.by_name("ghost")
+    with pytest.raises(KeyError):
+        cluster.by_mac("de:ad:be:ef:00:00")

@@ -1,0 +1,23 @@
+"""Pin the §6.3 calibration: the compute closure is 162 pkgs / ~225 MB.
+
+Figure 7 of the paper shows anaconda reporting "Total 162 packages /
+386M" installed size with ~225 MB transferred; §6.3 says "each node
+transfers approximately 225 MB of data from the server".  The synthetic
+Red Hat tree is tuned so the default compute appliance resolves to the
+same workload — this test keeps that calibration from drifting.
+"""
+
+import pytest
+
+from repro.core.kickstart import KickstartGenerator, default_graph, default_node_files
+from repro.rpm import Repository, community_packages, npaci_packages, stock_redhat
+
+
+def test_compute_closure_matches_paper():
+    repo = Repository("rocks-dist")
+    for src in (stock_redhat(), community_packages(), npaci_packages()):
+        repo.add_all(src)
+    gen = KickstartGenerator(default_graph(), default_node_files(), lambda d: repo)
+    profile = gen.profile("compute", "i386", "rocks-dist")
+    assert profile.n_packages == 162
+    assert profile.total_bytes == pytest.approx(225e6, rel=0.05)

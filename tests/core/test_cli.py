@@ -1,0 +1,89 @@
+"""Tests for the scenario CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_build_command(capsys):
+    code, out = run_cli(capsys, "build", "--nodes", "2")
+    assert code == 0
+    assert "integrated 2 compute nodes" in out
+    assert "compute-0-1" in out
+
+
+def test_reinstall_command(capsys):
+    code, out = run_cli(capsys, "reinstall", "--nodes", "2")
+    assert code == 0
+    assert "2 concurrent reinstalls" in out
+    assert "ethernet" in out
+
+
+def test_table1_command_small(capsys):
+    code, out = run_cli(capsys, "table1", "--max-nodes", "2")
+    assert code == 0
+    lines = [l for l in out.splitlines() if l.strip()]
+    assert lines[0].split() == ["nodes", "paper", "measured"]
+    assert len(lines) == 3  # header + n=1 + n=2
+
+
+def test_dist_command(capsys):
+    code, out = run_cli(capsys, "dist", "--day", "100")
+    assert code == 0
+    assert "older dropped" in out
+    assert "build time" in out
+
+
+def test_kickstart_command(capsys):
+    code, out = run_cli(capsys, "kickstart", "--appliance", "compute")
+    assert code == 0
+    assert "%packages" in out
+    assert "mpich" in out
+    assert "url --url" in out
+
+
+def test_kickstart_ia64(capsys):
+    code, out = run_cli(capsys, "kickstart", "--arch", "ia64")
+    assert code == 0
+    assert "intel-mkl" not in out
+
+
+def test_graph_command(capsys):
+    code, out = run_cli(capsys, "graph")
+    assert code == 0
+    assert out.startswith("compute:") or "compute:" in out
+    assert "mpi" in out
+
+
+def test_graph_dot(capsys):
+    code, out = run_cli(capsys, "graph", "--dot")
+    assert '"compute" -> "mpi";' in out
+
+
+def test_reports_command(capsys):
+    code, out = run_cli(capsys, "reports", "--nodes", "1", "--report", "hosts")
+    assert code == 0
+    assert "/etc/hosts" in out
+    assert "compute-0-0" in out
+
+
+def test_lint_command(capsys):
+    code, out = run_cli(capsys, "lint")
+    assert code == 0
+    assert "consistent" in out
+
+
+def test_lint_command_ia64(capsys):
+    code, out = run_cli(capsys, "lint", "--arch", "ia64")
+    assert code == 0
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["warp-drive"])

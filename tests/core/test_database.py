@@ -1,0 +1,177 @@
+"""Tests for the cluster database and its report generators (§6.4)."""
+
+import pytest
+
+from repro.core.database import (
+    ClusterDatabase,
+    DatabaseError,
+    dhcp_bindings,
+    report_dhcpd,
+    report_hosts,
+    report_pbs_nodes,
+)
+
+
+@pytest.fixture
+def db():
+    d = ClusterDatabase()
+    d.add_node(
+        "frontend-0",
+        membership="Frontend",
+        mac="00:30:c1:d8:ac:80",
+        ip="10.1.1.1",
+        cpus=2,
+        comment="Gateway machine",
+    )
+    return d
+
+
+def test_default_catalogs_seeded(db):
+    names = [m[1] for m in db.memberships()]
+    assert "Frontend" in names
+    assert "Compute" in names
+    assert "Power Units" in names
+
+
+def test_add_node_and_lookup(db):
+    row = db.add_node("compute-0-0", mac="00:50:8b:e0:3a:a7", rack=0, rank=0)
+    assert row.ip == "10.255.255.254"  # descending from the top (Table II)
+    assert db.node_by_mac("00:50:8b:e0:3a:a7").name == "compute-0-0"
+    assert db.node_by_ip("10.255.255.254").name == "compute-0-0"
+    assert db.has_mac("00:50:8b:e0:3a:a7")
+
+
+def test_ips_descend(db):
+    a = db.add_node("compute-0-0", mac="m0")
+    b = db.add_node("compute-0-1", mac="m1")
+    assert a.ip == "10.255.255.254"
+    assert b.ip == "10.255.255.253"
+
+
+def test_duplicate_name_and_mac_rejected(db):
+    db.add_node("compute-0-0", mac="m0")
+    with pytest.raises(DatabaseError):
+        db.add_node("compute-0-0", mac="m9")
+    with pytest.raises(DatabaseError):
+        db.add_node("compute-0-1", mac="m0")
+
+
+def test_unknown_membership(db):
+    with pytest.raises(DatabaseError, match="membership"):
+        db.add_node("x", membership="Quantum")
+
+
+def test_next_rank_per_rack(db):
+    db.add_node("compute-0-0", mac="a", rack=0, rank=0)
+    db.add_node("compute-0-1", mac="b", rack=0, rank=1)
+    db.add_node("compute-1-0", mac="c", rack=1, rank=0)
+    assert db.next_rank(0) == 2
+    assert db.next_rank(1) == 1
+    assert db.next_rank(7) == 0
+
+
+def test_compute_nodes_join(db):
+    """Table III: joining memberships.compute='yes' selects compute only."""
+    db.add_node("compute-0-0", mac="a")
+    db.add_node("nfs-0-0", membership="NFS Servers", mac="b")
+    db.add_node("network-0-0", membership="Ethernet Switches")
+    names = [n.name for n in db.compute_nodes()]
+    assert names == ["compute-0-0"]
+
+
+def test_raw_query_with_join(db):
+    """The cluster-kill --query path: arbitrary SQL with joins."""
+    db.add_node("compute-0-0", mac="a", rack=0)
+    db.add_node("compute-1-0", mac="b", rack=1)
+    db.add_node("compute-1-1", mac="c", rack=1)
+    rows = db.query("select name from nodes where rack=1")
+    assert [r[0] for r in rows] == ["compute-1-0", "compute-1-1"]
+    rows = db.query(
+        "select nodes.name from nodes,memberships where "
+        "nodes.membership = memberships.id and memberships.name = 'Compute'"
+    )
+    assert len(rows) == 3
+
+
+def test_app_globals_roundtrip(db):
+    db.set_global("Kickstart", "PublicHostname", "meteor.sdsc.edu")
+    assert db.get_global("Kickstart", "PublicHostname") == "meteor.sdsc.edu"
+    db.set_global("Kickstart", "PublicHostname", "rocks.sdsc.edu")
+    assert db.get_global("Kickstart", "PublicHostname") == "rocks.sdsc.edu"
+    assert db.get_global("Kickstart", "Nonesuch", "dflt") == "dflt"
+
+
+def test_set_os_dist(db):
+    db.add_node("compute-0-0", mac="a")
+    db.set_os_dist("compute-0-0", "developer-dist")
+    assert db.node_by_name("compute-0-0").os_dist == "developer-dist"
+    with pytest.raises(DatabaseError):
+        db.set_os_dist("ghost", "x")
+
+
+def test_appliance_for_membership(db):
+    mid = db.membership_id("Compute")
+    assert db.appliance_for_membership(mid) == ("compute", "compute")
+    mid = db.membership_id("Web Servers")
+    assert db.appliance_for_membership(mid) == ("web", "web")
+
+
+def test_remove_node(db):
+    db.add_node("compute-0-0", mac="a")
+    db.remove_node("compute-0-0")
+    with pytest.raises(DatabaseError):
+        db.node_by_name("compute-0-0")
+
+
+# -- reports -------------------------------------------------------------------
+
+
+def test_report_hosts(db):
+    db.add_node("compute-0-0", mac="a")
+    text = report_hosts(db)
+    assert "10.1.1.1\tfrontend-0.local frontend-0" in text
+    assert "10.255.255.254\tcompute-0-0.local compute-0-0" in text
+    assert text.startswith("# /etc/hosts")
+
+
+def test_report_dhcpd(db):
+    db.add_node("compute-0-0", mac="00:50:8b:e0:3a:a7")
+    text = report_dhcpd(db)
+    assert "host compute-0-0 {" in text
+    assert "hardware ethernet 00:50:8b:e0:3a:a7;" in text
+    assert "fixed-address 10.255.255.254;" in text
+    assert "next-server frontend-0;" in text
+
+
+def test_report_pbs_nodes_only_compute(db):
+    db.add_node("compute-0-0", mac="a", cpus=2)
+    db.add_node("nfs-0-0", membership="NFS Servers", mac="b")
+    assert report_pbs_nodes(db) == "compute-0-0 np=2\n"
+
+
+def test_dhcp_bindings_structured(db):
+    db.add_node("compute-0-0", mac="a")
+    db.add_node("network-0-0", membership="Ethernet Switches")  # no MAC
+    bindings = dhcp_bindings(db)
+    assert {b.hostname for b in bindings} == {"frontend-0", "compute-0-0"}
+
+
+def test_table2_shape(db):
+    """Reproduce Table II's row mix: frontend, switch, nfs, computes, web."""
+    db.add_node("network-0-0", membership="Ethernet Switches", rack=0,
+                comment="Switch for Cabinet 0")
+    db.add_node("nfs-0-0", membership="NFS Servers", mac="00:50:8b:a5:4d:b1")
+    for i in range(4):
+        db.add_node(f"compute-0-{i}", mac=f"00:50:8b:e0:00:0{i}", rack=0, rank=i)
+    db.add_node("web-1-0", membership="Web Servers", mac="00:50:8b:c5:c7:d3",
+                rack=1, comment="Web Server in Cabinet 1")
+    rows = db.query(
+        "select nodes.id, nodes.name, memberships.name from nodes, memberships "
+        "where nodes.membership = memberships.id order by nodes.id"
+    )
+    kinds = {name: kind for _, name, kind in rows}
+    assert kinds["frontend-0"] == "Frontend"
+    assert kinds["network-0-0"] == "Ethernet Switches"
+    assert kinds["nfs-0-0"] == "NFS Servers"
+    assert kinds["compute-0-2"] == "Compute"
+    assert kinds["web-1-0"] == "Web Servers"

@@ -1,0 +1,99 @@
+"""§6.2.3 end to end: per-node-subset distributions on a shared cluster.
+
+"During development of Rocks, we had the need to isolate developers from
+one another and allow different distributions to be installed on compute
+nodes of a shared cluster...  By creating multiple distributions and
+editing the XML configuration infrastructure, the user can create unique
+configurations for subsets of cluster nodes."
+"""
+
+import pytest
+
+from repro import build_cluster
+from repro.core.distribution import RocksDist
+from repro.core.kickstart import NodeFile, default_graph, default_node_files
+from repro.rpm import Package, Repository
+
+
+@pytest.fixture
+def shared_cluster():
+    sim = build_cluster(n_compute=3)
+    sim.integrate_all()
+    return sim
+
+
+def make_developer_dist(frontend):
+    """A developer clones the production dist and adds bleeding-edge bits."""
+    parent = frontend.distributions[frontend.config.dist_name]
+    rd = RocksDist(name="dev-dist", parent=parent)
+    rd.add_source(
+        Repository(
+            "dev",
+            [
+                Package("mpich", "1.2.3", "0.beta", size=10_000_000,
+                        requires=("gcc",), provides=("mpi",),
+                        vendor="developer"),
+                Package("experimental-profiler", "0.1", size=2_000_000),
+            ],
+        )
+    )
+    node_files = default_node_files()
+    node_files["dev-tools"] = NodeFile.from_xml(
+        "dev-tools",
+        "<kickstart><package>experimental-profiler</package></kickstart>",
+    )
+    graph = default_graph()
+    graph.add_edge("compute", "dev-tools")
+    return rd.dist(graph=graph, node_files=node_files)
+
+
+def test_developer_subset_gets_its_own_software(shared_cluster):
+    sim = shared_cluster
+    f = sim.frontend
+    dev_dist = make_developer_dist(f)
+    f.add_distribution(dev_dist)
+    # point ONE node at the developer distribution; its kickstarts are
+    # driven by the dev dist's own XML build directory (§6.2.3)
+    f.db.set_os_dist("compute-0-1", "dev-dist")
+
+    sim.reinstall_all()
+
+    dev_node = sim.machine("compute-0-1")
+    prod_nodes = [sim.machine("compute-0-0"), sim.machine("compute-0-2")]
+    # the developer node runs the beta MPICH and the profiler
+    assert dev_node.rpmdb.query("mpich").version == "1.2.3"
+    assert "experimental-profiler" in dev_node.rpmdb
+    # production nodes are untouched by the experiment
+    for node in prod_nodes:
+        assert node.rpmdb.query("mpich").version == "1.2.2"
+        assert "experimental-profiler" not in node.rpmdb
+
+
+def test_developer_dist_is_lightweight(shared_cluster):
+    """The clone is symlinks: tree cost stays ~25 MB, built in seconds."""
+    f = shared_cluster.frontend
+    dev_dist = make_developer_dist(f)
+    assert dev_dist.build_seconds < 60
+    assert dev_dist.tree_bytes() < 40e6
+    # parent and child share package payloads (no duplication)
+    parent = f.distributions[f.config.dist_name]
+    assert dev_dist.latest("glibc") is parent.repository.latest("glibc")
+
+
+def test_experiment_is_reversible(shared_cluster):
+    """'restore to a known good state in 5-10 minutes' (§5)."""
+    sim = shared_cluster
+    f = sim.frontend
+    dev_dist = make_developer_dist(f)
+    f.add_distribution(dev_dist)
+    f.db.set_os_dist("compute-0-1", "dev-dist")
+    sim.reinstall_all([sim.machine("compute-0-1")])
+    assert "experimental-profiler" in sim.machine("compute-0-1").rpmdb
+
+    # experiment over: flip back and reinstall — the node converges to
+    # the production configuration exactly
+    f.db.set_os_dist("compute-0-1", f.config.dist_name)
+    reports = sim.reinstall_all([sim.machine("compute-0-1")])
+    assert 5 <= reports[0].minutes <= 11
+    reference = sim.machine("compute-0-0").rpmdb
+    assert not reference.diff(sim.machine("compute-0-1").rpmdb)

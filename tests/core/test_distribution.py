@@ -1,0 +1,208 @@
+"""Tests for rocks-dist: gathering, version resolution, trees, hierarchy."""
+
+import pytest
+
+from repro.core.distribution import (
+    BuildReport,
+    Distribution,
+    MirrorReport,
+    RocksDist,
+    mirror_over_http,
+)
+from repro.core.kickstart import default_graph, default_node_files
+from repro.netsim import Environment, FAST_ETHERNET, Network
+from repro.rpm import (
+    Package,
+    Repository,
+    UpdateStream,
+    community_packages,
+    npaci_packages,
+    stock_redhat,
+)
+from repro.services import InstallServer
+
+
+@pytest.fixture(scope="module")
+def stock():
+    return stock_redhat()
+
+
+def standard_dist(stock, updates=None):
+    rd = RocksDist.standard(
+        stock,
+        updates=updates,
+        contrib=community_packages(),
+        local=npaci_packages(),
+    )
+    return rd
+
+
+def test_gather_merges_all_sources(stock):
+    rd = standard_dist(stock)
+    resolved, dropped = rd.gather()
+    assert "glibc" in resolved  # stock
+    assert "mpich" in resolved  # contrib
+    assert "rocks-dist" in resolved  # local
+    assert dropped == 0  # no overlaps between these sources
+
+
+def test_gather_picks_newest_version(stock):
+    updates = Repository("updates")
+    updates.add(stock.latest("openssh").with_update("2.9p2", "12"))
+    rd = standard_dist(stock, updates=updates)
+    resolved, dropped = rd.gather()
+    assert resolved.latest("openssh").release == "12"
+    assert dropped == 1
+    # only ONE openssh remains: "only includes the most recent software"
+    assert len(resolved.versions("openssh")) == 1
+
+
+def test_gather_later_source_shadows_equal_version(stock):
+    local = Repository("local")
+    rebuilt = Package("wget", stock.latest("wget").version,
+                      stock.latest("wget").release, vendor="campus")
+    local.add(rebuilt)
+    rd = RocksDist.standard(stock, local=local)
+    resolved, _ = rd.gather()
+    assert resolved.latest("wget").vendor == "campus"
+
+
+def test_gather_keeps_arches_separate():
+    rd = RocksDist(name="multi", arch="i386")
+    rd.add_source(stock_redhat(arch="i386"))
+    rd.add_source(stock_redhat(arch="ia64"))
+    resolved, _ = rd.gather()
+    assert {p.arch for p in resolved.versions("glibc")} == {"i386", "ia64"}
+
+
+def test_dist_requires_sources():
+    with pytest.raises(ValueError, match="no software sources"):
+        RocksDist().dist()
+
+
+def test_dist_builds_under_a_minute(stock):
+    """§6.2.3: 'can be built in under a minute'."""
+    dist = standard_dist(stock).dist()
+    assert dist.build_seconds < 60
+
+
+def test_dist_tree_is_lightweight(stock):
+    """§6.2.3: 'each distribution is lightweight (on the order of 25MB)'."""
+    dist = standard_dist(stock).dist()
+    mb = dist.tree_bytes() / 1e6
+    assert 8 < mb < 40
+    # ...while the payload behind the symlinks is far larger
+    assert dist.payload_bytes() > 10 * dist.tree_bytes()
+
+
+def test_dist_on_simulated_clock(stock):
+    env = Environment()
+    rd = standard_dist(stock)
+    dist = rd.dist(env=env)
+    assert env.now == pytest.approx(dist.build_seconds)
+
+
+def test_dist_paths_layout(stock):
+    dist = standard_dist(stock).dist()
+    paths = dist.paths()
+    assert "RedHat/base/hdlist" in paths
+    assert "build/graphs/default.xml" in paths
+    assert any(p.startswith("RedHat/RPMS/glibc-") for p in paths)
+    assert any(p == "build/nodes/compute.xml" for p in paths)
+
+
+def test_build_report(stock):
+    rd = standard_dist(stock)
+    dist = rd.dist()
+    (report,) = rd.reports
+    assert report.n_packages == len(dist.repository)
+    assert report.n_sources == 3
+    assert report.tree_bytes == dist.tree_bytes()
+
+
+def test_update_stream_integration(stock):
+    """§6.2.1: 'If Red Hat ships it, so do we' — automatically."""
+    stream = UpdateStream(stock, updates_per_year=124)
+    rd = standard_dist(stock, updates=stream.updates_repository())
+    resolved, dropped = rd.gather()
+    assert dropped > 0
+    # every updated package resolved to its newest build
+    for update in stream:
+        assert not update.package.newer_than(
+            resolved.latest(update.package.name)
+        )
+
+
+# -- hierarchy (Figure 6) ---------------------------------------------------------
+
+
+def test_child_distribution_inherits_and_extends(stock):
+    npaci = standard_dist(stock).dist()
+    campus_pkgs = Repository("campus")
+    campus_pkgs.add(Package("campus-licensed-compiler", "6.0", size=50_000_000,
+                            vendor="campus"))
+    campus = RocksDist(name="ucsd-dist", parent=npaci)
+    campus.add_source(campus_pkgs)
+    dist = campus.dist()
+    assert dist.parent == "rocks-dist"
+    assert dist.lineage() == "rocks-dist -> ucsd-dist"
+    assert "campus-licensed-compiler" in dist.repository
+    assert "glibc" in dist.repository  # inherited from NPACI
+
+
+def test_three_level_hierarchy(stock):
+    """NPACI -> campus -> department, each adding software (§6.2.2)."""
+    npaci = standard_dist(stock).dist()
+    campus = RocksDist(name="campus", parent=npaci)
+    campus.add_source(Repository("c", [Package("campus-tool", "1.0")]))
+    campus_dist = campus.dist()
+    dept = RocksDist(name="chemistry", parent=campus_dist)
+    dept.add_source(Repository("d", [Package("gaussian", "98")]))
+    dept_dist = dept.dist()
+    for name in ["glibc", "campus-tool", "gaussian"]:
+        assert name in dept_dist.repository, name
+    assert dept_dist.parent == "campus"
+
+
+def test_child_overrides_parent_package(stock):
+    npaci = standard_dist(stock).dist()
+    newer_ssh = npaci.latest("openssh").with_update("3.1p1", "1")
+    campus = RocksDist(name="campus", parent=npaci)
+    campus.add_source(Repository("c", [newer_ssh]))
+    dist = campus.dist()
+    assert dist.latest("openssh").version == "3.1p1"
+
+
+# -- mirroring over HTTP ---------------------------------------------------------------
+
+
+def test_mirror_over_http_incremental(stock):
+    env = Environment()
+    net = Network(env)
+    net.attach("npaci-frontend", FAST_ETHERNET)
+    net.attach("campus-frontend", FAST_ETHERNET)
+    server = InstallServer(env, net, "npaci-frontend")
+    small = Repository("small")
+    small.add(Package("a", "1.0", size=1_000_000))
+    small.add(Package("b", "1.0", size=2_000_000))
+    server.publish_packages("rocks-dist", small)
+
+    local = Repository("mirror")
+    report = env.run(
+        until=env.process(
+            mirror_over_http(env, server, "rocks-dist", "campus-frontend", local)
+        )
+    )
+    assert report.n_fetched == 2
+    assert report.bytes_transferred == 3_000_000
+    assert "a" in local and "b" in local
+    assert report.seconds > 0
+
+    # Second run: nothing to do (wget timestamping behaviour).
+    report2 = env.run(
+        until=env.process(
+            mirror_over_http(env, server, "rocks-dist", "campus-frontend", local)
+        )
+    )
+    assert report2.n_fetched == 0
+    assert report2.n_skipped == 2

@@ -1,0 +1,105 @@
+"""Failure-injection integration tests: services dying under live installs."""
+
+import pytest
+
+from repro import build_cluster
+from repro.cluster import MachineState
+from repro.core.tools import shoot_node
+from repro.netsim import TransferAborted
+
+
+def test_dhcp_outage_delays_but_does_not_fail_install():
+    """dhcpd restarts are invisible to booting nodes: they just retry."""
+    sim = build_cluster(n_compute=1)
+    sim.integrate_all()
+    node = sim.nodes[0]
+    sim.frontend.dhcp.stop()
+    node.request_reinstall()
+    sim.env.run(until=sim.env.now + 300)
+    assert node.state is MachineState.INSTALLING  # stuck in the DHCP loop
+    sim.frontend.dhcp.start()
+    sim.env.run(until=node.wait_for_state(MachineState.UP))
+    assert node.install_count == 2
+
+
+def test_install_server_crash_hangs_node_with_diagnostic():
+    """An HTTP failure mid-install leaves the node HUNG (a 404/503 is not
+    retryable by anaconda) — and shoot-node's PDU path recovers it."""
+    sim = build_cluster(n_compute=1)
+    sim.integrate_all()
+    node = sim.nodes[0]
+    node.request_reinstall()
+    sim.env.run(until=node.wait_for_state(MachineState.INSTALLING))
+    sim.env.run(until=sim.env.now + 200)  # mid package pull
+    sim.frontend.install_server.fail()
+    sim.env.run(until=node.wait_for_state(MachineState.HUNG))
+    assert any("installation failed" in line for line in node.console)
+
+    # repair and recover via the §4 escalation (node is dark on Ethernet)
+    sim.frontend.install_server.repair()
+    report = sim.env.run(until=shoot_node(sim.frontend, node))
+    assert report.method == "pdu"
+    assert node.is_up
+    assert len(node.rpmdb) == 162
+
+
+def test_frontend_power_loss_aborts_transfers_cleanly():
+    """Killing the frontend cancels every in-flight HTTP flow."""
+    sim = build_cluster(n_compute=2)
+    sim.integrate_all()
+    for node in sim.nodes:
+        node.request_reinstall()
+    sim.env.run(until=sim.nodes[0].wait_for_state(MachineState.INSTALLING))
+    sim.env.run(until=sim.env.now + 200)
+    assert sim.hardware.network.flows.active_flows >= 0
+    sim.frontend.machine.power_off()
+    # all flows touching the frontend link were torn down
+    assert all(
+        sim.frontend.machine.mac not in (l.name.split(".")[0] for l in f.path)
+        for f in sim.hardware.network.flows._flows
+    )
+
+
+def test_node_power_cycle_storm_converges():
+    """Repeated hard power cycles mid-install always reconverge to UP."""
+    sim = build_cluster(n_compute=1)
+    sim.integrate_all()
+    node = sim.nodes[0]
+    for _ in range(3):
+        node.request_reinstall()
+        sim.env.run(until=node.wait_for_state(MachineState.INSTALLING))
+        sim.env.run(until=sim.env.now + 100)  # partway through
+        node.power_off(hard=True)
+        assert len(node.rpmdb) == 0
+        node.power_on()
+        sim.env.run(until=node.wait_for_state(MachineState.UP))
+    assert len(node.rpmdb) == 162
+    assert node.rpmdb.verify()
+
+
+def test_nis_and_nfs_survive_node_reinstalls():
+    """Account state lives on the frontend; node reinstalls don't lose it."""
+    sim = build_cluster(n_compute=2)
+    sim.integrate_all()
+    f = sim.frontend
+    f.add_user("bruno", 500)
+    mount = f.nfs.mount(sim.nodes[0].hostid, "/export/home", "/home")
+    mount.write("thesis.tex", b"\\documentclass{article}")
+    sim.reinstall_all()
+    assert f.nis.lookup("bruno").uid == 500
+    assert mount.read("thesis.tex").startswith(b"\\documentclass")
+
+
+def test_determinism_across_identical_runs():
+    """Two identical simulations produce byte-identical outcomes."""
+
+    def run():
+        sim = build_cluster(n_compute=3, seed=11)
+        sim.integrate_all()
+        reports = sim.reinstall_all()
+        return [
+            (r.host, round(r.seconds, 6), r.method) for r in reports
+        ], [n.rpmdb.installed_names() for n in sim.nodes]
+
+    a, b = run(), run()
+    assert a == b

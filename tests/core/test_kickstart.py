@@ -1,0 +1,294 @@
+"""Tests for the XML kickstart framework (§6.1, Figures 2-4)."""
+
+import pytest
+
+from repro.core.database import ClusterDatabase
+from repro.core.kickstart import (
+    DEFAULT_NODE_XML,
+    GenerationError,
+    Graph,
+    GraphError,
+    KickstartCgi,
+    KickstartGenerator,
+    NodeFile,
+    NodeFileError,
+    UnknownClient,
+    default_graph,
+    default_node_files,
+)
+from repro.installer import InstallProfile
+from repro.rpm import Repository, community_packages, npaci_packages, stock_redhat
+
+
+def merged_repo(arch="i386"):
+    repo = Repository("rocks-dist")
+    for src in (stock_redhat(arch=arch), community_packages(arch), npaci_packages()):
+        repo.add_all(src)
+    return repo
+
+
+@pytest.fixture(scope="module")
+def repo():
+    return merged_repo()
+
+
+@pytest.fixture
+def generator(repo):
+    return KickstartGenerator(
+        default_graph(), default_node_files(), lambda dist: repo
+    )
+
+
+# -- node files ----------------------------------------------------------------
+
+
+def test_parse_figure2_dhcp_module():
+    node = NodeFile.from_xml("dhcp-server", DEFAULT_NODE_XML["dhcp-server"])
+    assert node.description == "Setup the DHCP server for the cluster"
+    assert node.package_names("i386") == ["dhcp"]
+    assert "DHCPD_INTERFACES" in node.post[0].script
+
+
+def test_nodefile_arch_restriction():
+    node = NodeFile.from_xml("mpi", DEFAULT_NODE_XML["mpi"])
+    assert "intel-mkl" in node.package_names("i386")
+    assert "intel-mkl" in node.package_names("athlon")
+    assert "intel-mkl" not in node.package_names("ia64")
+
+
+def test_nodefile_roundtrip():
+    node = NodeFile.from_xml("mpi", DEFAULT_NODE_XML["mpi"])
+    again = NodeFile.from_xml("mpi", node.to_xml())
+    assert again.package_names("i386") == node.package_names("i386")
+    assert len(again.post) == len(node.post)
+    assert again.description == node.description
+
+
+def test_nodefile_bad_xml():
+    with pytest.raises(NodeFileError, match="bad XML"):
+        NodeFile.from_xml("x", "<kickstart><unclosed>")
+    with pytest.raises(NodeFileError, match="root element"):
+        NodeFile.from_xml("x", "<graph/>")
+    with pytest.raises(NodeFileError, match="empty <package>"):
+        NodeFile.from_xml("x", "<kickstart><package/></kickstart>")
+    with pytest.raises(NodeFileError, match="unknown element"):
+        NodeFile.from_xml("x", "<kickstart><pkg>x</pkg></kickstart>")
+
+
+def test_nodefile_uppercase_tags_accepted():
+    """The paper's Figure 2 uses <KICKSTART>/<PACKAGE>/<POST>."""
+    xml = (
+        '<?xml version="1.0" standalone="no"?>'
+        "<KICKSTART><DESCRIPTION>d</DESCRIPTION>"
+        "<PACKAGE>dhcp</PACKAGE><POST>echo hi</POST></KICKSTART>"
+    )
+    node = NodeFile.from_xml("dhcp-server", xml)
+    assert node.package_names("i386") == ["dhcp"]
+
+
+# -- graph -----------------------------------------------------------------------
+
+
+def test_figure4_compute_traversal():
+    """Paper: 'if the machine was configured to be a compute appliance,
+    the traversal of the graph would be the compute, mpi, and
+    c-development node files.'"""
+    g = Graph()
+    g.add_edge("compute", "mpi")
+    g.add_edge("mpi", "c-development")
+    g.add_edge("frontend", "mpi")
+    g.add_edge("frontend", "dhcp-server")
+    assert g.traverse("compute") == ["compute", "mpi", "c-development"]
+    assert g.traverse("frontend") == [
+        "frontend",
+        "mpi",
+        "c-development",
+        "dhcp-server",
+    ]
+
+
+def test_graph_roots_are_appliances():
+    g = default_graph()
+    assert set(g.roots()) >= {"compute", "frontend", "nfs", "web"}
+
+
+def test_graph_arch_conditional_edges():
+    g = Graph()
+    g.add_edge("compute", "base")
+    g.add_edge("compute", "ia64-boot", archs=["ia64"])
+    assert g.traverse("compute", "i386") == ["compute", "base"]
+    assert g.traverse("compute", "ia64") == ["compute", "base", "ia64-boot"]
+
+
+def test_graph_tolerates_cycles():
+    g = Graph()
+    g.add_edge("a", "b")
+    g.add_edge("b", "a")
+    assert g.traverse("a") == ["a", "b"]
+
+
+def test_graph_xml_roundtrip():
+    g = default_graph()
+    again = Graph.from_xml(g.to_xml())
+    assert again.edges == g.edges
+
+
+def test_graph_bad_xml():
+    with pytest.raises(GraphError, match="root element"):
+        Graph.from_xml("<kickstart/>")
+    with pytest.raises(GraphError, match="'from' and 'to'"):
+        Graph.from_xml("<graph><edge from='a'/></graph>")
+    with pytest.raises(GraphError, match="unknown graph element"):
+        Graph.from_xml("<graph><vertex/></graph>")
+
+
+def test_graph_traverse_unknown_root():
+    with pytest.raises(GraphError, match="not in graph"):
+        default_graph().traverse("mainframe")
+
+
+def test_graph_to_dot_visualisation():
+    dot = default_graph().to_dot()
+    assert dot.startswith("digraph default {")
+    assert '"compute" -> "mpi";' in dot
+    assert '"compute" [shape=box];' in dot
+
+
+def test_graph_remove_edge():
+    g = Graph()
+    g.add_edge("a", "b")
+    g.remove_edge("a", "b")
+    assert g.edges == ()
+    with pytest.raises(GraphError):
+        g.remove_edge("a", "b")
+
+
+# -- generator ----------------------------------------------------------------------
+
+
+def test_compute_kickstart_renders(generator):
+    ks = generator.kickstart("compute", "i386", "rocks-dist")
+    text = ks.render()
+    assert "url --url http://frontend-0/install/rocks-dist" in text
+    assert "%packages" in text
+    assert "mpich" in text
+    assert "%post" in text
+    assert "part / --size 4096" in text
+    assert "part /state/partition1 --size 1 --grow" in text
+
+
+def test_frontend_kickstart_differs(generator):
+    compute = generator.kickstart("compute", "i386", "rocks-dist")
+    frontend = generator.kickstart("frontend", "i386", "rocks-dist")
+    assert "dhcp" in frontend.packages
+    assert "dhcp" not in compute.packages
+    assert "pbs-mom" in compute.packages
+    assert "maui" in frontend.packages
+    assert "part /export --size 1 --grow" in frontend.render()
+
+
+def test_compute_profile_resolves_with_closure(generator):
+    profile = generator.profile("compute", "i386", "rocks-dist")
+    assert isinstance(profile, InstallProfile)
+    names = {p.name for p in profile.packages}
+    # requested packages present...
+    assert {"mpich", "pbs-mom", "ypbind", "basesystem"} <= names
+    # ...plus their dependency closure
+    assert "glibc" in names
+    assert "pbs" in names  # pbs-mom requires pbs
+    assert profile.n_packages > 100
+    assert profile.post_scripts
+
+
+def test_profile_packages_are_install_ordered(generator):
+    profile = generator.profile("compute", "i386", "rocks-dist")
+    pos = {p.name: i for i, p in enumerate(profile.packages)}
+    assert pos["glibc"] < pos["bash"]
+    assert pos["pbs"] < pos["pbs-mom"]
+
+
+def test_missing_node_file_reported():
+    g = Graph()
+    g.add_edge("compute", "ghost-module")
+    gen = KickstartGenerator(g, default_node_files(), lambda d: merged_repo())
+    with pytest.raises(GenerationError, match="ghost-module"):
+        gen.kickstart("compute", "i386", "rocks-dist")
+
+
+def test_unresolvable_package_reported(repo):
+    files = default_node_files()
+    files["mpi"] = NodeFile.from_xml(
+        "mpi",
+        "<kickstart><package>libquantum-flux</package></kickstart>",
+    )
+    gen = KickstartGenerator(default_graph(), files, lambda d: repo)
+    with pytest.raises(GenerationError, match="do not resolve"):
+        gen.profile("compute", "i386", "rocks-dist")
+
+
+def test_site_customisation_via_new_nodefile(repo):
+    """§6.1 footnote: users add node files to tailor the cluster."""
+    gen = KickstartGenerator(default_graph(), default_node_files(), lambda d: repo)
+    gen.add_node_file(
+        NodeFile.from_xml(
+            "site-emacs", "<kickstart><package>emacs</package></kickstart>"
+        )
+    )
+    gen.graph.add_edge("compute", "site-emacs")
+    profile = gen.profile("compute", "i386", "rocks-dist")
+    assert any(p.name == "emacs" for p in profile.packages)
+
+
+def test_ia64_profile_uses_ia64_packages():
+    repo = Repository("rocks-dist")
+    for src in (
+        stock_redhat(arch="i386"),
+        stock_redhat(arch="ia64"),
+        community_packages("i386"),
+        community_packages("ia64"),
+        npaci_packages(),
+    ):
+        repo.add_all(src)
+    gen = KickstartGenerator(default_graph(), default_node_files(), lambda d: repo)
+    profile = gen.profile("compute", "ia64", "rocks-dist")
+    archs = {p.arch for p in profile.packages}
+    assert archs <= {"ia64", "noarch"}
+    assert not any(p.name == "intel-mkl" for p in profile.packages)
+
+
+# -- CGI --------------------------------------------------------------------------------
+
+
+def test_cgi_full_request_path(generator):
+    db = ClusterDatabase()
+    db.add_node("compute-0-0", mac="00:50:8b:00:00:01")
+    cgi = KickstartCgi(db, generator)
+    profile, size = cgi("00:50:8b:00:00:01", "/install/kickstart.cgi")
+    assert profile.appliance == "compute"
+    assert size == len(profile.kickstart_text.encode())
+    assert cgi.requests == 1
+
+
+def test_cgi_lookup_by_ip(generator):
+    db = ClusterDatabase()
+    row = db.add_node("compute-0-0", mac="00:50:8b:00:00:01")
+    cgi = KickstartCgi(db, generator)
+    profile = cgi.generate(row.ip)
+    assert profile.appliance == "compute"
+
+
+def test_cgi_unknown_client_rejected(generator):
+    cgi = KickstartCgi(ClusterDatabase(), generator)
+    with pytest.raises(UnknownClient):
+        cgi.generate("de:ad:be:ef:00:00")
+
+
+def test_cgi_respects_per_node_distribution(generator):
+    """§6.2.3: different nodes can point at different distributions."""
+    db = ClusterDatabase()
+    db.add_node("compute-0-0", mac="m0")
+    db.add_node("compute-0-1", mac="m1")
+    db.set_os_dist("compute-0-1", "developer-dist")
+    cgi = KickstartCgi(db, generator)
+    assert cgi.generate("m0").dist_name == "rocks-dist"
+    assert cgi.generate("m1").dist_name == "developer-dist"

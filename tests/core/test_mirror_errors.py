@@ -1,0 +1,83 @@
+"""Error-path tests for HTTP mirroring and distribution publication."""
+
+import pytest
+
+from repro.core.distribution import RocksDist, mirror_over_http
+from repro.netsim import Environment, FAST_ETHERNET, Network
+from repro.rpm import Package, Repository
+from repro.services import InstallServer
+
+
+def rig():
+    env = Environment()
+    net = Network(env)
+    net.attach("parent", FAST_ETHERNET)
+    net.attach("child", FAST_ETHERNET)
+    server = InstallServer(env, net, "parent")
+    repo = Repository("src")
+    repo.add(Package("a", "1.0", size=1_000_000))
+    repo.add(Package("b", "1.0", size=1_000_000))
+    server.publish_packages("rocks-dist", repo)
+    return env, net, server
+
+
+def test_mirror_records_errors_and_continues():
+    env, net, server = rig()
+    # sabotage one package: unpublish it from the HTTP tree but leave it
+    # in the index (a torn mirror upstream)
+    server.http.unpublish("/install/rocks-dist/RedHat/RPMS/a-1.0-1.i386.rpm")
+    local = Repository("mirror")
+    report = env.run(
+        until=env.process(
+            mirror_over_http(env, server, "rocks-dist", "child", local)
+        )
+    )
+    assert report.n_fetched == 1
+    assert len(report.errors) == 1
+    assert "a-1.0-1.i386.rpm" in report.errors[0]
+    assert "b" in local and "a" not in local
+
+
+def test_mirror_updates_only_newer():
+    env, net, server = rig()
+    local = Repository("mirror")
+    env.run(until=env.process(
+        mirror_over_http(env, server, "rocks-dist", "child", local)
+    ))
+    # upstream ships an update to 'a'
+    server.publish_packages("rocks-dist", [Package("a", "1.1", size=1_000_000)])
+    report = env.run(until=env.process(
+        mirror_over_http(env, server, "rocks-dist", "child", local)
+    ))
+    assert report.n_fetched == 1  # only the new build moved
+    assert report.n_skipped == 2
+    assert len(local.versions("a")) == 2  # both builds mirrored
+
+
+def test_mirror_then_dist_pipeline():
+    """mirror -> rocks-dist: the child resolves to the newest of both."""
+    env, net, server = rig()
+    server.publish_packages("rocks-dist", [Package("a", "2.0", size=500_000)])
+    local = Repository("mirror")
+    env.run(until=env.process(
+        mirror_over_http(env, server, "rocks-dist", "child", local)
+    ))
+    rd = RocksDist(name="child-dist")
+    rd.add_source(local)
+    dist = rd.dist()
+    assert dist.latest("a").version == "2.0"
+    assert len(dist.repository.versions("a")) == 1
+
+
+def test_mirror_empty_distribution():
+    env = Environment()
+    net = Network(env)
+    net.attach("parent", FAST_ETHERNET)
+    net.attach("child", FAST_ETHERNET)
+    server = InstallServer(env, net, "parent")
+    local = Repository("mirror")
+    report = env.run(until=env.process(
+        mirror_over_http(env, server, "nonesuch", "child", local)
+    ))
+    assert report.n_fetched == 0
+    assert report.errors == []

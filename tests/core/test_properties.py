@@ -1,0 +1,172 @@
+"""Property-based tests across the Rocks core (hypothesis)."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import ClusterDatabase
+from repro.core.distribution import RocksDist
+from repro.core.kickstart import Graph, NodeFile
+from repro.rpm import Package, Repository
+
+name_st = st.text(alphabet=string.ascii_lowercase + "-", min_size=1, max_size=10).filter(
+    lambda s: s.strip("-")
+)
+
+
+# -- graph properties -----------------------------------------------------------
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(name_st, name_st).filter(lambda e: e[0] != e[1]),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_traversal_properties(edges):
+    g = Graph()
+    for frm, to in edges:
+        g.add_edge(frm, to)
+    root = edges[0][0]
+    order = g.traverse(root)
+    # pre-order: root first, no duplicates
+    assert order[0] == root
+    assert len(order) == len(set(order))
+    # soundness: everything visited is reachable via some edge chain
+    reachable = {root}
+    changed = True
+    while changed:
+        changed = False
+        for frm, to in edges:
+            if frm in reachable and to not in reachable:
+                reachable.add(to)
+                changed = True
+    assert set(order) == reachable
+    # determinism
+    assert g.traverse(root) == order
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(name_st, name_st, st.booleans()).filter(lambda e: e[0] != e[1]),
+        min_size=1,
+        max_size=15,
+    )
+)
+def test_graph_xml_roundtrip_property(edges):
+    g = Graph()
+    for frm, to, ia64_only in edges:
+        g.add_edge(frm, to, archs=["ia64"] if ia64_only else None)
+    again = Graph.from_xml(g.to_xml())
+    assert again.edges == g.edges
+
+
+# -- node file round trip ----------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    packages=st.lists(name_st, min_size=0, max_size=8),
+    description=st.text(
+        alphabet=string.ascii_letters + " ", min_size=0, max_size=40
+    ),
+    post_seconds=st.floats(min_value=0, max_value=60),
+)
+def test_nodefile_roundtrip_property(packages, description, post_seconds):
+    node = NodeFile(name="x", description=description.strip())
+    from repro.core.kickstart import PackageRef, PostFragment
+
+    node.packages = [PackageRef(p) for p in packages]
+    node.post = [PostFragment("echo post", seconds=post_seconds)]
+    again = NodeFile.from_xml("x", node.to_xml())
+    assert again.description == node.description
+    assert again.package_names("i386") == [p.name for p in node.packages]
+    assert again.post[0].seconds == pytest.approx(post_seconds)
+
+
+# -- rocks-dist resolution ------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(
+            st.sampled_from(["alpha", "beta", "gamma", "delta"]),  # name
+            st.integers(min_value=0, max_value=5),  # version
+            st.integers(min_value=1, max_value=9),  # release
+            st.integers(min_value=0, max_value=2),  # which source
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_gather_resolution_properties(data):
+    sources = [Repository(f"s{i}") for i in range(3)]
+    for name, version, release, src in data:
+        sources[src].add(Package(name, f"1.{version}", str(release)))
+    rd = RocksDist()
+    for s in sources:
+        rd.add_source(s)
+    resolved, dropped = rd.gather()
+    # exactly one build per (name, arch)
+    for name in resolved.names():
+        assert len(resolved.versions(name)) == 1
+    # that build is the newest across all sources
+    for name in resolved.names():
+        best = resolved.latest(name)
+        for s in sources:
+            if name in s:
+                assert not s.latest(name).newer_than(best)
+    # conservation: kept + dropped == total added (dedup'd per repo)
+    total = sum(len(s) for s in sources)
+    assert len(resolved) + dropped == total
+    # idempotence: re-running on the result changes nothing
+    rd2 = RocksDist()
+    rd2.add_source(resolved)
+    resolved2, dropped2 = rd2.gather()
+    assert dropped2 == 0
+    assert {p.nevra for p in resolved2} == {p.nevra for p in resolved}
+
+
+# -- database IP allocation -------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_nodes=st.integers(min_value=1, max_value=40),
+    removals=st.lists(st.integers(min_value=0, max_value=39), max_size=10),
+)
+def test_ip_allocation_never_collides(n_nodes, removals):
+    db = ClusterDatabase()
+    for i in range(n_nodes):
+        db.add_node(f"compute-0-{i}", mac=f"m{i}")
+    for r in removals:
+        if r < n_nodes:
+            db.remove_node(f"compute-0-{r}")
+    # removed addresses become reusable; allocation stays collision-free
+    before = {n.ip for n in db.nodes()}
+    row = db.add_node("extra-0-0", mac="mx")
+    assert row.ip not in before
+    ips = [n.ip for n in db.nodes()]
+    assert len(ips) == len(set(ips))
+
+
+@settings(max_examples=50, deadline=None)
+@given(seq=st.permutations(list(range(6))))
+def test_rank_assignment_order_independent_of_membership_mix(seq):
+    db = ClusterDatabase()
+    for i in seq:
+        membership = "Compute" if i % 2 == 0 else "Web Servers"
+        rank = db.next_rank(0, membership)
+        base = "compute" if membership == "Compute" else "web"
+        db.add_node(f"{base}-0-{rank}-{i}", membership=membership, mac=f"m{i}",
+                    rack=0, rank=rank)
+    # ranks are dense per membership
+    for membership in ("Compute", "Web Servers"):
+        ranks = sorted(n.rank for n in db.nodes(membership))
+        assert ranks == list(range(len(ranks)))

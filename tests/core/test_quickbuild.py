@@ -1,0 +1,76 @@
+"""Tests for the high-level build_cluster/RocksCluster API."""
+
+import pytest
+
+from repro import build_cluster
+from repro.cluster import MachineState
+from repro.installer import InstallCalibration
+from repro.netsim import SimulationError
+
+
+def test_build_cluster_defaults():
+    sim = build_cluster(n_compute=2)
+    assert sim.frontend.machine.is_up
+    assert len(sim.nodes) == 2
+    # nodes racked but anonymous until integrated
+    assert all(n.name is None for n in sim.nodes)
+    assert sim.db.nodes() and len(sim.db.compute_nodes()) == 0
+
+
+def test_integrate_all_names_in_boot_order():
+    sim = build_cluster(n_compute=3)
+    names = sim.integrate_all()
+    assert names == ["compute-0-0", "compute-0-1", "compute-0-2"]
+    assert all(n.is_up for n in sim.nodes)
+
+
+def test_integrate_all_idempotent():
+    sim = build_cluster(n_compute=2)
+    sim.integrate_all()
+    again = sim.integrate_all()
+    assert again == []  # nothing new to integrate
+    assert len(sim.db.compute_nodes()) == 2
+
+
+def test_add_nodes_after_integration():
+    """Scaling out: §5 'each compute node added... only increments the
+    total management effort by a small amount'."""
+    sim = build_cluster(n_compute=2)
+    sim.integrate_all()
+    sim.add_compute_nodes(2)
+    names = sim.integrate_all()
+    assert names == ["compute-0-2", "compute-0-3"]
+    assert len(sim.db.compute_nodes()) == 4
+
+
+def test_reinstall_subset():
+    sim = build_cluster(n_compute=3)
+    sim.integrate_all()
+    reports = sim.reinstall_all([sim.nodes[1]])
+    assert len(reports) == 1
+    assert sim.nodes[1].install_count == 2
+    assert sim.nodes[0].install_count == 1
+
+
+def test_custom_calibration_changes_install_time():
+    fast = InstallCalibration(cpu_seconds_per_mb=0.2)
+    sim = build_cluster(n_compute=1, calibration=fast)
+    sim.integrate_all()
+    (report,) = sim.reinstall_all()
+    assert report.minutes < 8  # well under the default ~10
+
+
+def test_machine_lookup():
+    sim = build_cluster(n_compute=1)
+    sim.integrate_all()
+    assert sim.machine("compute-0-0") is sim.nodes[0]
+    with pytest.raises(KeyError):
+        sim.machine("compute-9-9")
+
+
+def test_integration_requires_dhcp_running():
+    sim = build_cluster(n_compute=1)
+    sim.frontend.dhcp.stop()
+    sim.frontend.syslog.stop()
+    with pytest.raises(SimulationError, match="never integrated"):
+        sim.integrate_all(per_node_deadline=600.0)

@@ -1,0 +1,63 @@
+"""Tests for the scalable Unix commands (§6.4 ref [21])."""
+
+import pytest
+
+from repro import build_cluster
+from repro.core.tools import (
+    cluster_lsmod,
+    cluster_ps,
+    cluster_rpm_q,
+    cluster_uptime,
+)
+
+
+@pytest.fixture(scope="module")
+def sim():
+    s = build_cluster(n_compute=3)
+    s.integrate_all()
+    return s
+
+
+def test_cluster_ps_lists_processes(sim):
+    sim.nodes[0].user_processes[:] = ["gamess", "gamess"]
+    sim.nodes[1].user_processes[:] = ["amber"]
+    sim.nodes[2].user_processes[:] = []
+    ps = cluster_ps(sim.frontend)
+    assert ps["compute-0-0"] == ["gamess", "gamess"]
+    assert ps["compute-0-1"] == ["amber"]
+    assert ps["compute-0-2"] == []
+
+
+def test_cluster_ps_with_query(sim):
+    ps = cluster_ps(sim.frontend, query="select name from nodes where rank=1")
+    assert set(ps) == {"compute-0-1"}
+
+
+def test_cluster_uptime_reports_state(sim):
+    up = cluster_uptime(sim.frontend)
+    assert all("up" in line for line in up.values())
+    assert all("kernel 2.4.9-5" in line for line in up.values())
+
+
+def test_cluster_rpm_q_answers_section32_question(sim):
+    """'What version of software X do I have on node Y?'"""
+    versions = cluster_rpm_q(sim.frontend, "mpich")
+    assert set(versions) == {f"compute-0-{i}" for i in range(3)}
+    assert all(v == "mpich-1.2.2-1.i386" for v in versions.values())
+    # consistency by construction: every node answers identically
+    assert len(set(versions.values())) == 1
+
+
+def test_cluster_rpm_q_missing_package(sim):
+    versions = cluster_rpm_q(sim.frontend, "emacs")  # not on compute nodes
+    assert all(v is None for v in versions.values())
+
+
+def test_cluster_lsmod_shows_gm(sim):
+    mods = cluster_lsmod(sim.frontend)
+    assert all(m == ["gm"] for m in mods.values())
+
+
+def test_explicit_node_targets(sim):
+    up = cluster_uptime(sim.frontend, nodes=["compute-0-2"])
+    assert list(up) == ["compute-0-2"]

@@ -1,0 +1,68 @@
+"""Tests for the Figure 7 install screen and its eKV exposure."""
+
+import pytest
+
+from repro.installer import InstallProgress, render_install_screen
+
+
+def progress_like_figure7():
+    """Figure 7's numbers: dev-3.0.6-5, 340k, 162 total / 38 complete."""
+    return InstallProgress(
+        current_name="dev-3.0.6-5",
+        current_size=340_000,
+        current_summary="The most commonly-used entries in the /dev directory.",
+        total_packages=162,
+        done_packages=38,
+        total_bytes=386e6,
+        done_bytes=88e6,
+        started_at=0.0,
+        now=23.0,
+    )
+
+
+def test_progress_accounting():
+    p = progress_like_figure7()
+    assert p.remaining_packages == 124
+    assert p.remaining_bytes == pytest.approx(298e6)
+    assert p.elapsed == 23.0
+    # ETA at observed rate: 298 MB at 88 MB / 23 s
+    assert p.eta == pytest.approx(298e6 / (88e6 / 23.0))
+
+
+def test_eta_zero_before_any_bytes():
+    p = InstallProgress(total_packages=10, total_bytes=1e6, started_at=0, now=5)
+    assert p.eta == 0.0
+
+
+def test_render_matches_figure7_layout():
+    screen = render_install_screen(progress_like_figure7())
+    assert "Package Installation" in screen
+    assert "Name   : dev-3.0.6-5" in screen
+    assert "Size   : 340k" in screen
+    assert "most commonly-used" in screen
+    # the three-row Packages/Bytes/Time table
+    assert "Total" in screen and "Completed" in screen and "Remaining" in screen
+    assert "162" in screen and "38" in screen and "124" in screen
+    assert "386M" in screen and "88M" in screen and "298M" in screen
+    assert "<F12> next screen" in screen
+    # fixed-width frame
+    lines = screen.splitlines()
+    assert len({len(l) for l in lines[:-1]}) == 1
+
+
+def test_screen_over_ekv_live():
+    from repro import build_cluster
+    from repro.core.tools import EkvConsole, EkvUnreachable, shoot_node
+    from repro.cluster import MachineState
+
+    sim = build_cluster(n_compute=1)
+    sim.integrate_all()
+    node = sim.nodes[0]
+    proc = shoot_node(sim.frontend, node)
+    sim.env.run(until=node.wait_for_state(MachineState.INSTALLING))
+    ekv = EkvConsole(sim.hardware, node)
+    sim.env.run(until=sim.env.now + 300)  # mid package phase
+    screen = ekv.screen()
+    assert "Package Installation" in screen
+    assert "Total" in screen
+    sim.env.run(until=proc)

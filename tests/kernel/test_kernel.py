@@ -1,0 +1,124 @@
+"""Tests for module versioning, make rpm, and the Myrinet driver."""
+
+import pytest
+
+from repro.kernel import (
+    GM_BUILD_SECONDS_AT_733MHZ,
+    KernelConfig,
+    KernelModule,
+    ModuleVersionError,
+    MyrinetDriver,
+    RunningKernel,
+    STOCK_KERNEL_VERSION,
+    make_rpm,
+)
+from repro.rpm import BuildError, Package
+
+
+def toolchain():
+    return [
+        Package("gcc", "2.96"),
+        Package("make", "3.79.1"),
+        Package("kernel-source", "2.4.9"),
+    ]
+
+
+# -- module versioning --------------------------------------------------------
+
+
+def test_insmod_matching_version():
+    k = RunningKernel("2.4.9")
+    k.insmod(KernelModule("gm", "2.4.9"))
+    assert k.is_loaded("gm")
+    assert k.lsmod() == ["gm"]
+
+
+def test_insmod_wrong_version_refused():
+    k = RunningKernel("2.4.9-31")
+    with pytest.raises(ModuleVersionError, match="built for 2.4.9"):
+        k.insmod(KernelModule("gm", "2.4.9"))
+
+
+def test_versioning_disabled_loads_anything():
+    k = RunningKernel("2.4.9-31", module_versioning=False)
+    k.insmod(KernelModule("gm", "2.4.2"))
+    assert k.is_loaded("gm")
+
+
+def test_double_insmod_refused():
+    k = RunningKernel("2.4.9")
+    k.insmod(KernelModule("gm", "2.4.9"))
+    with pytest.raises(ModuleVersionError, match="already loaded"):
+        k.insmod(KernelModule("gm", "2.4.9"))
+
+
+def test_rmmod():
+    k = RunningKernel("2.4.9")
+    k.insmod(KernelModule("gm", "2.4.9"))
+    mod = k.rmmod("gm")
+    assert mod.name == "gm"
+    assert not k.is_loaded("gm")
+    with pytest.raises(ModuleVersionError):
+        k.rmmod("gm")
+
+
+# -- make rpm -------------------------------------------------------------------
+
+
+def test_make_rpm_produces_kernel_package():
+    cfg = KernelConfig(release="meteor.1")
+    pkg = make_rpm(cfg, toolchain())
+    assert pkg.name == "kernel"
+    assert pkg.version == STOCK_KERNEL_VERSION
+    assert pkg.release == "meteor.1"
+    assert "SMP" in pkg.summary
+
+
+def test_make_rpm_needs_toolchain():
+    with pytest.raises(BuildError, match="kernel-source"):
+        make_rpm(KernelConfig(), [Package("gcc", "2.96")])
+
+
+def test_kernel_config_full_version():
+    assert KernelConfig("2.4.18", "7.x.1").full_version == "2.4.18-7.x.1"
+
+
+# -- Myrinet driver ---------------------------------------------------------------
+
+
+def test_gm_source_package():
+    src = MyrinetDriver().source_package()
+    assert src.is_source
+    assert src.name == "myrinet-gm"
+
+
+def test_gm_rebuild_embeds_kernel_version():
+    pkg, module = MyrinetDriver().rebuild("2.4.9-31", toolchain())
+    assert pkg.version == "1.4_2.4.9-31"
+    assert module.built_for == "2.4.9-31"
+    # And the produced module only loads on that kernel:
+    RunningKernel("2.4.9-31").insmod(module)
+    with pytest.raises(ModuleVersionError):
+        RunningKernel("2.4.9-32").insmod(module)
+
+
+def test_gm_rebuild_needs_kernel_source():
+    with pytest.raises(BuildError):
+        MyrinetDriver().rebuild("2.4.9", [Package("gcc", "2.96")])
+
+
+def test_gm_build_time_scales_with_cpu():
+    drv = MyrinetDriver()
+    assert drv.build_seconds(1.0) == GM_BUILD_SECONDS_AT_733MHZ
+    assert drv.build_seconds(2.0) == GM_BUILD_SECONDS_AT_733MHZ / 2
+    with pytest.raises(ValueError):
+        drv.build_seconds(0)
+
+
+def test_gm_module_loads_without_reboot_semantics():
+    """Paper: the GM module can be compiled, installed, and started
+    without incurring a reboot — i.e. insmod on the *running* kernel."""
+    running = RunningKernel("2.4.9")
+    _, module = MyrinetDriver().rebuild(running.version, toolchain())
+    running.insmod(module)  # no reboot needed
+    assert running.is_loaded("gm")

@@ -1,0 +1,118 @@
+"""Edge-case tests for the engine and flow network."""
+
+import pytest
+
+from repro.netsim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    FlowNetwork,
+    Link,
+    SimulationError,
+)
+
+
+def test_all_of_propagates_failure():
+    env = Environment()
+
+    def good():
+        yield env.timeout(5)
+        return "ok"
+
+    def bad():
+        yield env.timeout(2)
+        raise ValueError("boom")
+
+    def main():
+        try:
+            yield AllOf(env, [env.process(good()), env.process(bad())])
+        except ValueError as err:
+            return f"caught {err}"
+
+    assert env.run(until=env.process(main())) == "caught boom"
+
+
+def test_any_of_with_already_triggered_event():
+    env = Environment()
+    done = env.event()
+    done.succeed("early")
+
+    def main():
+        value = yield AnyOf(env, [done, env.timeout(100)])
+        return (env.now, value)
+
+    when, value = env.run(until=env.process(main()))
+    assert when == 0
+    assert value == "early"
+
+
+def test_all_of_empty_is_degenerate():
+    env = Environment()
+
+    def main():
+        value = yield AllOf(env, [])
+        return value
+
+    assert env.run(until=env.process(main())) == ()
+
+
+def test_mixed_environment_events_rejected():
+    env1, env2 = Environment(), Environment()
+    ev = env2.event()
+    with pytest.raises(SimulationError, match="different environments"):
+        AllOf(env1, [ev])
+
+
+def test_link_utilization_tracks_flows():
+    env = Environment()
+    net = FlowNetwork(env)
+    link = Link("l", 100.0)
+    assert link.utilization() == 0.0
+    net.transfer([link], 1e6)
+    assert link.utilization() == pytest.approx(1.0)
+    net.transfer([link], 1e6, max_rate=10.0)  # still saturated, shared
+    assert link.utilization() == pytest.approx(1.0)
+    assert link.n_flows == 2
+
+
+def test_unconstrained_link_utilization_zero():
+    assert Link("switch", None).utilization() == 0.0
+
+
+def test_flow_elapsed_while_running():
+    env = Environment()
+    net = FlowNetwork(env)
+    flow = net.transfer([Link("l", 10.0)], 100.0)
+    env.run(until=5.0)
+    assert flow.elapsed == pytest.approx(5.0)
+    env.run(until=flow.done)
+    assert flow.elapsed == pytest.approx(10.0)
+
+
+def test_cancel_completed_flow_is_noop():
+    env = Environment()
+    net = FlowNetwork(env)
+    flow = net.transfer([Link("l", 100.0)], 10.0)
+    env.run(until=flow.done)
+    flow.cancel()  # must not raise or double-trigger
+    assert flow.done.triggered
+
+
+def test_simultaneous_completions_all_fire():
+    env = Environment()
+    net = FlowNetwork(env)
+    a, b = Link("a", 100.0), Link("b", 100.0)
+    f1 = net.transfer([a], 500.0)
+    f2 = net.transfer([b], 500.0)
+    env.run()
+    assert f1.finished_at == f2.finished_at == pytest.approx(5.0)
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+
+    def main():
+        value = yield env.timeout(3, value="payload")
+        return value
+
+    assert env.run(until=env.process(main())) == "payload"

@@ -1,0 +1,315 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.netsim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc():
+        yield env.timeout(5.0)
+        log.append(env.now)
+        yield env.timeout(2.5)
+        log.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert log == [5.0, 7.5]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def worker():
+        yield env.timeout(1)
+        return 42
+
+    proc = env.process(worker())
+    assert env.run(until=proc) == 42
+
+
+def test_process_waits_on_process():
+    env = Environment()
+    order = []
+
+    def inner():
+        yield env.timeout(3)
+        order.append("inner")
+        return "payload"
+
+    def outer():
+        value = yield env.process(inner())
+        order.append("outer")
+        return value
+
+    result = env.run(until=env.process(outer()))
+    assert result == "payload"
+    assert order == ["inner", "outer"]
+
+
+def test_events_fire_in_time_order_with_fifo_ties():
+    env = Environment()
+    seen = []
+
+    def make(tag, delay):
+        def p():
+            yield env.timeout(delay)
+            seen.append(tag)
+
+        return p
+
+    for tag, delay in [("a", 2), ("b", 1), ("c", 2), ("d", 0)]:
+        env.process(make(tag, delay)())
+    env.run()
+    assert seen == ["d", "b", "a", "c"]
+
+
+def test_run_until_deadline_stops_midway():
+    env = Environment()
+    seen = []
+
+    def p():
+        for _ in range(10):
+            yield env.timeout(1)
+            seen.append(env.now)
+
+    env.process(p())
+    env.run(until=3.5)
+    assert seen == [1, 2, 3]
+    assert env.now == 3.5
+
+
+def test_manual_event_succeed_value():
+    env = Environment()
+    ev = env.event()
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append(value)
+
+    env.process(waiter())
+
+    def firer():
+        yield env.timeout(2)
+        ev.succeed("hello")
+
+    env.process(firer())
+    env.run()
+    assert got == ["hello"]
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    ev = env.event()
+
+    def waiter():
+        with pytest.raises(ValueError, match="boom"):
+            yield ev
+        return "survived"
+
+    proc = env.process(waiter())
+
+    def firer():
+        yield env.timeout(1)
+        ev.fail(ValueError("boom"))
+
+    env.process(firer())
+    assert env.run(until=proc) == "survived"
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_interrupt_breaks_timeout_wait():
+    env = Environment()
+    outcome = {}
+
+    def sleeper():
+        try:
+            yield env.timeout(100)
+            outcome["finished"] = True
+        except Interrupt as err:
+            outcome["cause"] = err.cause
+            outcome["at"] = env.now
+
+    victim = env.process(sleeper())
+
+    def killer():
+        yield env.timeout(7)
+        victim.interrupt("power cycle")
+
+    env.process(killer())
+    env.run()
+    assert outcome == {"cause": "power cycle", "at": 7}
+
+
+def test_interrupt_finished_process_is_error():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    proc = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    log = []
+
+    def resilient():
+        try:
+            yield env.timeout(50)
+        except Interrupt:
+            log.append(("interrupted", env.now))
+        yield env.timeout(5)
+        log.append(("done", env.now))
+
+    victim = env.process(resilient())
+
+    def killer():
+        yield env.timeout(10)
+        victim.interrupt()
+
+    env.process(killer())
+    env.run()
+    assert log == [("interrupted", 10), ("done", 15)]
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+
+    def worker(d):
+        yield env.timeout(d)
+        return d
+
+    def main():
+        procs = [env.process(worker(d)) for d in (3, 1, 2)]
+        values = yield AllOf(env, procs)
+        return (env.now, values)
+
+    when, values = env.run(until=env.process(main()))
+    assert when == 3
+    assert values == (3, 1, 2)
+
+
+def test_any_of_returns_first():
+    env = Environment()
+
+    def worker(d):
+        yield env.timeout(d)
+        return d
+
+    def main():
+        procs = [env.process(worker(d)) for d in (5, 2, 9)]
+        first = yield AnyOf(env, procs)
+        return (env.now, first)
+
+    when, first = env.run(until=env.process(main()))
+    assert when == 2
+    assert first == 2
+
+
+def test_yield_non_event_is_error():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    with pytest.raises(SimulationError, match="must yield events"):
+        env.process(bad())
+        env.run()
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+
+    def failing():
+        yield env.timeout(1)
+        raise RuntimeError("install failed")
+
+    def main():
+        try:
+            yield env.process(failing())
+        except RuntimeError as err:
+            return str(err)
+
+    assert env.run(until=env.process(main())) == "install failed"
+
+
+def test_run_until_event_requires_pending_work():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        env.run(until=ev)
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(4)
+    assert env.peek() == 4
+
+
+def test_zero_delay_timeout_runs_same_timestamp():
+    env = Environment()
+    seen = []
+
+    def p():
+        yield env.timeout(0)
+        seen.append(env.now)
+
+    env.process(p())
+    env.run()
+    assert seen == [0.0]
+
+
+def test_interleaved_processes_share_clock():
+    env = Environment()
+    trace = []
+
+    def ping():
+        for _ in range(3):
+            yield env.timeout(2)
+            trace.append(("ping", env.now))
+
+    def pong():
+        yield env.timeout(1)
+        for _ in range(3):
+            yield env.timeout(2)
+            trace.append(("pong", env.now))
+
+    env.process(ping())
+    env.process(pong())
+    env.run()
+    assert trace == [
+        ("ping", 2),
+        ("pong", 3),
+        ("ping", 4),
+        ("pong", 5),
+        ("ping", 6),
+        ("pong", 7),
+    ]

@@ -1,0 +1,144 @@
+"""Tests for spec building and the synthetic Red Hat universe."""
+
+import pytest
+
+from repro.rpm import (
+    MB,
+    BuildError,
+    Package,
+    SpecFile,
+    UpdateStream,
+    community_packages,
+    npaci_packages,
+    resolve,
+    rpmbuild,
+    stock_redhat,
+)
+
+
+def test_specfile_source_package():
+    spec = SpecFile("myrinet-gm", "1.4", binary_size=2 * MB)
+    src = spec.source_package()
+    assert src.is_source
+    assert src.filename == "myrinet-gm-1.4-1.src.rpm"
+
+
+def test_rpmbuild_requires_build_deps():
+    spec = SpecFile(
+        "myrinet-gm", "1.4", build_requires=("gcc", "kernel-source")
+    )
+    with pytest.raises(BuildError, match="kernel-source"):
+        rpmbuild(spec, available=[Package("gcc", "2.96")])
+
+
+def test_rpmbuild_produces_binaries_with_suffix():
+    spec = SpecFile("myrinet-gm", "1.4", build_requires=("gcc",))
+    built = rpmbuild(
+        spec,
+        arch="i686",
+        available=[Package("gcc", "2.96")],
+        version_suffix="_2.4.9",
+    )
+    assert len(built) == 1
+    assert built[0].version == "1.4_2.4.9"
+    assert built[0].arch == "i686"
+
+
+def test_rpmbuild_subpackages():
+    spec = SpecFile("kernel", "2.4.9", subpackages=("kernel", "kernel-smp"))
+    built = rpmbuild(spec)
+    assert [p.name for p in built] == ["kernel", "kernel-smp"]
+
+
+# -- synthetic distribution ----------------------------------------------------
+
+
+def test_stock_redhat_is_deterministic():
+    a = stock_redhat(seed=7)
+    b = stock_redhat(seed=7)
+    assert [p.nevra for p in a] == [p.nevra for p in b]
+    assert [p.size for p in a] == [p.size for p in b]
+
+
+def test_stock_redhat_seed_changes_filler():
+    a = stock_redhat(seed=7)
+    b = stock_redhat(seed=8)
+    assert [p.size for p in a] != [p.size for p in b]
+
+
+def test_stock_redhat_has_core_packages():
+    repo = stock_redhat()
+    for name in ["glibc", "bash", "kernel", "gcc", "dhcp", "mysql-server", "apache"]:
+        assert name in repo, name
+
+
+def test_basesystem_closure_resolves():
+    repo = stock_redhat()
+    tx = resolve(repo, ["basesystem"])
+    assert "glibc" in tx.names
+    assert "kernel" in tx.names
+    assert len(tx) > 80
+
+
+def test_community_packages_content():
+    repo = community_packages()
+    assert "mpich" in repo
+    assert "pbs" in repo
+    assert "maui" in repo
+    gm = repo.latest("myrinet-gm")
+    assert gm.is_source
+
+
+def test_npaci_packages_are_versioned():
+    repo = npaci_packages("2.2.1")
+    assert repo.latest("rocks-dist").version == "2.2.1"
+    assert len(repo) == 7
+
+
+def test_update_stream_rate_matches_paper():
+    base = stock_redhat()
+    stream = UpdateStream(base, updates_per_year=124, days=360)
+    assert len(stream) == 124
+    # one update every ~3 days
+    assert stream.mean_days_between_updates() == pytest.approx(2.9, abs=0.2)
+    assert 0 < len(stream.security_updates()) < 124
+
+
+def test_update_stream_is_deterministic():
+    base = stock_redhat()
+    s1 = UpdateStream(base, seed=62)
+    s2 = UpdateStream(base, seed=62)
+    assert [(u.day, u.package.nevra) for u in s1] == [
+        (u.day, u.package.nevra) for u in s2
+    ]
+
+
+def test_updates_are_newer_than_base():
+    base = stock_redhat()
+    for u in UpdateStream(base):
+        assert u.package.newer_than(base.latest(u.package.name))
+
+
+def test_released_by_is_monotone():
+    stream = UpdateStream(stock_redhat())
+    early = stream.released_by(30)
+    late = stream.released_by(300)
+    assert len(early) <= len(late)
+    assert {(u.day, u.package.nevra) for u in early} <= {
+        (u.day, u.package.nevra) for u in late
+    }
+
+
+def test_updates_repository_view():
+    stream = UpdateStream(stock_redhat())
+    repo = stream.updates_repository(day=180)
+    assert len(repo) == len(stream.released_by(180))
+
+
+def test_advisory_naming():
+    stream = UpdateStream(stock_redhat())
+    for u in stream:
+        if u.security:
+            assert u.advisory.startswith("RHSA-")
+        else:
+            assert u.advisory.startswith("RHBA-")

@@ -1,0 +1,129 @@
+"""Tests for rpmvercmp and EVR — including properties of the ordering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rpm import EVR, label_compare, parse_evr, rpmvercmp
+
+
+# Known-answer vectors, many lifted from rpm's own test suite.
+@pytest.mark.parametrize(
+    "a, b, expect",
+    [
+        ("1.0", "1.0", 0),
+        ("1.0", "2.0", -1),
+        ("2.0", "1.0", 1),
+        ("2.0.1", "2.0.1", 0),
+        ("2.0", "2.0.1", -1),
+        ("2.0.1a", "2.0.1", 1),
+        ("5.5p1", "5.5p2", -1),
+        ("5.5p10", "5.5p1", 1),
+        ("10xyz", "10.1xyz", -1),
+        ("xyz10", "xyz10.1", -1),
+        ("xyz.4", "xyz.4", 0),
+        ("xyz.4", "8", -1),
+        ("8", "xyz.4", 1),
+        ("5.5p2", "5.6p1", -1),
+        ("6.5p2", "5.6p1", 1),
+        ("6.0.rc1", "6.0", 1),
+        ("10b2", "10a1", 1),
+        ("7.4.052", "7.4.52", 0),  # leading zeros stripped
+        ("1.0010", "1.9", 1),
+        ("1.05", "1.5", 0),
+        ("4.999.9", "5.0", -1),
+        ("2.4.9", "2.4.10", -1),
+        # alpha vs numeric segment: numeric is always newer
+        ("1.0a", "1.0.1", -1),
+        # tilde pre-release convention
+        ("1.0~rc1", "1.0", -1),
+        ("1.0~rc1", "1.0~rc2", -1),
+        ("1.0~rc1", "1.0~rc1", 0),
+        ("1.0.~", "1.0.", -1),
+        # separators ignored except as boundaries
+        ("1_0", "1.0", 0),
+        ("20011110", "20011109", 1),
+    ],
+)
+def test_rpmvercmp_vectors(a, b, expect):
+    assert rpmvercmp(a, b) == expect
+
+
+def test_parse_evr_forms():
+    assert parse_evr("1.2.3") == EVR("1.2.3")
+    assert parse_evr("1.2.3-4") == EVR("1.2.3", "4")
+    assert parse_evr("2:1.2.3-4") == EVR("1.2.3", "4", 2)
+    assert parse_evr("1.2-3-4") == EVR("1.2-3", "4")
+
+
+def test_evr_str_roundtrip():
+    for text in ["1.2.3", "1.2.3-4", "2:1.2.3-4"]:
+        assert str(parse_evr(text)) == text
+
+
+def test_epoch_dominates():
+    assert label_compare("1:0.1-1", "0:99.9-9") == 1
+    assert label_compare("0.1", "1:0.1") == -1
+
+
+def test_empty_release_matches_any():
+    # A dep written "glibc >= 2.2" (no release) matches glibc-2.2-7.
+    assert parse_evr("2.2-7").compare(parse_evr("2.2")) == 0
+    assert EVR("2.2", "7").compare(EVR("2.2")) == 0
+
+
+def test_strict_compare_orders_releases():
+    assert EVR("2.2", "7") > EVR("2.2", "")
+    assert EVR("2.2", "8") > EVR("2.2", "7")
+
+
+def test_evr_sorting():
+    evrs = [EVR("1.0", "2"), EVR("0.9", "9"), EVR("1.0", "10"), EVR("1.0", "2", 1)]
+    ordered = sorted(evrs)
+    assert ordered == [
+        EVR("0.9", "9"),
+        EVR("1.0", "2"),
+        EVR("1.0", "10"),
+        EVR("1.0", "2", 1),
+    ]
+
+
+# --- properties -------------------------------------------------------------
+
+version_text = st.text(
+    alphabet="0123456789abcxyz.~_-", min_size=1, max_size=12
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(a=version_text)
+def test_rpmvercmp_reflexive(a):
+    assert rpmvercmp(a, a) == 0
+
+
+@settings(max_examples=300, deadline=None)
+@given(a=version_text, b=version_text)
+def test_rpmvercmp_antisymmetric(a, b):
+    assert rpmvercmp(a, b) == -rpmvercmp(b, a)
+
+
+@settings(max_examples=300, deadline=None)
+@given(a=version_text, b=version_text, c=version_text)
+def test_rpmvercmp_transitive(a, b, c):
+    """If a <= b and b <= c then a <= c."""
+    ab, bc, ac = rpmvercmp(a, b), rpmvercmp(b, c), rpmvercmp(a, c)
+    if ab <= 0 and bc <= 0:
+        assert ac <= 0
+    if ab >= 0 and bc >= 0:
+        assert ac >= 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    e=st.integers(min_value=0, max_value=3),
+    v=version_text.filter(lambda s: "-" not in s and ":" not in s and s == s.strip()),
+    r=version_text.filter(lambda s: "-" not in s and ":" not in s),
+)
+def test_evr_parse_render_roundtrip(e, v, r):
+    evr = EVR(v, r, e)
+    assert parse_evr(str(evr)) == evr

@@ -1,0 +1,79 @@
+"""Tests for PBS jobs bound to real machines (resolve wiring)."""
+
+import pytest
+
+from repro import build_cluster
+from repro.core.tools import queue_cluster_reinstall, shoot_node
+from repro.scheduler import JobState
+
+
+@pytest.fixture
+def sim():
+    s = build_cluster(n_compute=3)
+    s.integrate_all()
+    s.frontend.maui.start()
+    return s
+
+
+def test_job_processes_appear_on_machines(sim):
+    f = sim.frontend
+    job = f.pbs.qsub("bruno", "gamess", nodes=2, walltime=500)
+    f.maui.schedule_once()
+    assert job.state is JobState.RUNNING
+    for hostname in job.assigned_nodes:
+        assert "gamess" in sim.machine(hostname).user_processes
+    sim.env.run(until=job.done)
+    for hostname in job.assigned_nodes:
+        assert "gamess" not in sim.machine(hostname).user_processes
+
+
+def test_node_death_fails_the_job(sim):
+    f = sim.frontend
+    job = f.pbs.qsub("bruno", "namd", nodes=2, walltime=10_000)
+    f.maui.schedule_once()
+    victim = sim.machine(job.assigned_nodes[0])
+    sim.env.run(until=sim.env.now + 100)
+    victim.power_off(hard=True)
+    assert job.state is JobState.FAILED
+    # the other node's process was reaped too
+    other = sim.machine(job.assigned_nodes[1])
+    assert "namd" not in other.user_processes
+    # and both nodes return to the free pool
+    from repro.scheduler import NodeState
+
+    assert all(
+        f.pbs.node_state(n) is NodeState.FREE for n in job.assigned_nodes
+    )
+    victim.power_on()
+    sim.env.run(until=victim.wait_for_state(victim.state.UP))
+
+
+def test_reinstalling_a_busy_node_is_visibly_destructive(sim):
+    """The §5 claim has teeth: shooting a node under a job FAILS the job
+    — which is exactly why upgrades go through the queue instead."""
+    f = sim.frontend
+    job = f.pbs.qsub("bruno", "amber", nodes=3, walltime=5_000)
+    f.maui.schedule_once()
+    victim = sim.machine(job.assigned_nodes[0])
+    report = sim.env.run(until=shoot_node(f, victim))
+    assert report.ok
+    assert job.state is JobState.FAILED  # the careless path kills work
+
+
+def test_queued_reinstall_never_fails_jobs(sim):
+    """...whereas the queued campaign completes with zero failed jobs."""
+    f = sim.frontend
+    job = f.pbs.qsub("bruno", "nwchem", nodes=2, walltime=800)
+    f.maui.schedule_once()
+    campaign = queue_cluster_reinstall(f)
+    sim.env.run(until=campaign.wait_event(sim.env))
+    assert job.state is JobState.COMPLETE
+    assert all(r.ok for r in campaign.reports)
+
+
+def test_system_jobs_not_bound_to_machines(sim):
+    """The reinstall job itself must not die when its node reboots."""
+    f = sim.frontend
+    campaign = queue_cluster_reinstall(f)
+    sim.env.run(until=campaign.wait_event(sim.env))
+    assert all(j.state is JobState.COMPLETE for j in campaign.jobs)

@@ -1,0 +1,82 @@
+"""Tests for the Ganglia-style cluster monitor."""
+
+import pytest
+
+from repro import build_cluster
+from repro.cluster import MachineState
+from repro.services import ClusterMonitor, Metrics, MonitorDaemon, enable_monitoring
+
+
+@pytest.fixture
+def monitored():
+    sim = build_cluster(n_compute=3)
+    sim.integrate_all()
+    monitor = enable_monitoring(
+        sim.env, [sim.frontend.machine] + sim.nodes, heartbeat_seconds=10
+    )
+    sim.env.run(until=sim.env.now + 30)
+    return sim, monitor
+
+
+def test_heartbeats_flow_from_up_nodes(monitored):
+    sim, monitor = monitored
+    snap = monitor.snapshot()
+    assert set(snap) == {"frontend-0", "compute-0-0", "compute-0-1", "compute-0-2"}
+    assert monitor.heartbeats_received >= 8
+    for m in snap.values():
+        assert m.state == "up"
+        assert m.packages > 100
+
+
+def test_metrics_carry_load(monitored):
+    sim, monitor = monitored
+    sim.nodes[0].user_processes.extend(["gamess", "gamess"])
+    sim.env.run(until=sim.env.now + 15)
+    assert monitor.snapshot()["compute-0-0"].load == 2
+
+
+def test_down_node_detected_by_stale_heartbeat(monitored):
+    sim, monitor = monitored
+    assert monitor.down_hosts() == []
+    sim.nodes[1].power_off()
+    sim.env.run(until=sim.env.now + 60)
+    assert monitor.down_hosts() == ["compute-0-1"]
+    assert "compute-0-1" not in monitor.up_hosts()
+    # recovery: power back on (hard cycle forced a reinstall) and heartbeat resumes
+    sim.nodes[1].power_on()
+    sim.env.run(until=sim.nodes[1].wait_for_state(MachineState.UP))
+    sim.env.run(until=sim.env.now + 20)
+    assert monitor.down_hosts() == []
+
+
+def test_reinstalling_node_goes_quiet_then_returns(monitored):
+    sim, monitor = monitored
+    node = sim.nodes[2]
+    node.request_reinstall()
+    sim.env.run(until=sim.env.now + 120)  # mid-install
+    assert "compute-0-2" in monitor.down_hosts()
+    sim.env.run(until=node.wait_for_state(MachineState.UP))
+    sim.env.run(until=sim.env.now + 20)
+    assert monitor.snapshot()["compute-0-2"].install_count == 2
+
+
+def test_report_is_tabular(monitored):
+    _, monitor = monitored
+    report = monitor.report()
+    assert report.splitlines()[0].startswith("host")
+    assert "compute-0-0" in report
+
+
+def test_stopped_monitor_drops_heartbeats(monitored):
+    sim, monitor = monitored
+    monitor.stop()
+    before = monitor.heartbeats_received
+    sim.env.run(until=sim.env.now + 50)
+    assert monitor.heartbeats_received == before
+
+
+def test_age_unseen_host_is_inf():
+    from repro.netsim import Environment
+
+    monitor = ClusterMonitor(Environment())
+    assert monitor.age("ghost") == float("inf")
