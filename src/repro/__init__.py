@@ -15,7 +15,9 @@ The package layers, bottom to top:
 * :mod:`repro.kernel` — module versioning, ``make rpm``, the GM driver;
 * :mod:`repro.core` — the paper's contribution: the XML kickstart
   framework, rocks-dist, the cluster database, insert-ethers,
-  shoot-node, eKV, cluster-fork/kill, and frontend bring-up.
+  shoot-node, eKV, cluster-fork/kill, and frontend bring-up;
+* :mod:`repro.faults` — seeded fault-injection plans and the chaos
+  reinstall experiment (§4's failure model, made executable).
 
 Quick start::
 

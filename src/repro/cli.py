@@ -12,6 +12,7 @@ commands would have shown.
     python -m repro dist                     # rocks-dist build report
     python -m repro kickstart --appliance compute --arch ia64
     python -m repro reports                  # hosts/dhcpd/PBS from the DB
+    python -m repro chaos --nodes 32         # reinstall under fault injection
 """
 
 from __future__ import annotations
@@ -145,6 +146,22 @@ def _cmd_reports(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import chaos_reinstall
+
+    result = chaos_reinstall(
+        n_nodes=args.nodes, plan=args.plan, seed=args.seed
+    )
+    print(result.render())
+    ok = result.completion_rate >= args.min_completion
+    print(
+        f"\ncompletion {100 * result.completion_rate:.0f}% "
+        f"(threshold {100 * args.min_completion:.0f}%): "
+        + ("PASS" if ok else "FAIL")
+    )
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -184,6 +201,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("lint", help="validate the XML kickstart infrastructure")
     p.add_argument("--arch", default="i386", choices=["i386", "athlon", "ia64"])
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "chaos", help="reinstall campaign under a fault-injection plan"
+    )
+    p.add_argument("--nodes", type=int, default=32)
+    from .faults import PLANS
+
+    p.add_argument("--plan", default="default", choices=sorted(PLANS))
+    p.add_argument("--seed", type=int, default=None,
+                   help="re-seed the plan (default: the plan's own seed)")
+    p.add_argument("--min-completion", type=float, default=0.9,
+                   help="exit nonzero below this installed fraction")
+    p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser("reports", help="database-derived config files (§6.4)")
     p.add_argument("--nodes", type=int, default=4)

@@ -179,6 +179,30 @@ class Machine:
         self.reinstall_on_boot = True
         self.reboot()
 
+    def hang(self, cause: str = "kernel panic") -> None:
+        """Freeze the node (§4's unresponsive case): only power recovers it.
+
+        The OS stops running, so the Ethernet goes dark and any
+        in-progress installation dies where it stands.  The recovery
+        path is the paper's escalation — a hard PDU power cycle, which
+        forces a reinstall.
+        """
+        if self.power is PowerState.OFF or self.state is MachineState.HUNG:
+            return
+        if self.state is MachineState.INSTALLING:
+            # Dying mid-install leaves a half-written root: no OS.
+            self.rpmdb.wipe()
+            root = self.root_partition()
+            if root is not None:
+                root.wipe()
+            self.reinstall_on_boot = True
+        proc = self._lifecycle
+        self._lifecycle = None
+        if proc is not None and proc.is_alive and self.env.active_process is not proc:
+            proc.interrupt(f"hang: {cause}")
+        self.console_write(f"Kernel panic: {cause}")
+        self._set_state(MachineState.HUNG)
+
     def reboot(self) -> None:
         """Soft reboot (graceful): restart the lifecycle without a hard cut."""
         if self.power is PowerState.OFF:

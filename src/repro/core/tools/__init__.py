@@ -1,14 +1,26 @@
 """The NPACI Rocks cluster tools (§6.3-6.4)."""
 
+from .campaign import (
+    CampaignReport,
+    EscalationPolicy,
+    NodeCampaignReport,
+    NodeOutcome,
+    ReinstallCampaign,
+)
 from .cluster_fork import cluster_fork, cluster_kill, targets_from_query
 from .crash_cart import CrashCart, NoVideoSignal
 from .ekv import EKV_PORT, EkvConsole, EkvUnreachable
 from .insert_ethers import APPLIANCE_BASENAMES, InsertEthers
 from .scalable_cmds import cluster_lsmod, cluster_ps, cluster_rpm_q, cluster_uptime
 from .shoot_node import ShootReport, shoot_node, shoot_nodes
-from .upgrade import ReinstallCampaign, queue_cluster_reinstall
+from .upgrade import QueuedReinstallCampaign, queue_cluster_reinstall
 
 __all__ = [
+    "CampaignReport",
+    "EscalationPolicy",
+    "NodeCampaignReport",
+    "NodeOutcome",
+    "ReinstallCampaign",
     "cluster_fork",
     "cluster_kill",
     "targets_from_query",
@@ -26,6 +38,6 @@ __all__ = [
     "ShootReport",
     "shoot_node",
     "shoot_nodes",
-    "ReinstallCampaign",
+    "QueuedReinstallCampaign",
     "queue_cluster_reinstall",
 ]

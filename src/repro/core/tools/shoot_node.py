@@ -9,15 +9,22 @@ installation."
 
 When the node does not answer over Ethernet, the §4 escalation applies:
 hard power cycle its PDU outlet (which itself forces the reinstall).
+
+Shooting can *fail* — the node hangs during installation, never comes
+back before the deadline, or has no PDU outlet to fall back on.  A
+:class:`ShootReport` therefore has a terminal failed state instead of
+raising, so campaign supervisors (:mod:`repro.core.tools.campaign`) can
+always render a complete per-node account.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass
 from typing import Generator, Optional
 
 from ...cluster import Machine, MachineState, PowerState
-from ...netsim import AllOf, Process
+from ...netsim import AllOf, AnyOf, Process
 from ..frontend import RocksFrontend
 from .ekv import EkvConsole
 
@@ -29,15 +36,22 @@ class ShootReport:
     """One node's reinstall as observed by shoot-node."""
 
     host: str
-    method: str  # "ethernet" | "pdu" | "failed"
+    method: str  # "ethernet" | "pdu" | "none"
     started_at: float
     finished_at: Optional[float] = None
     ekv: Optional[EkvConsole] = None
+    failed: bool = False
+    error: Optional[str] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.finished_at is not None
 
     @property
     def seconds(self) -> float:
+        """Reinstall duration; NaN while unfinished (renderable, not raisy)."""
         if self.finished_at is None:
-            raise RuntimeError(f"{self.host} has not finished reinstalling")
+            return math.nan
         return self.finished_at - self.started_at
 
     @property
@@ -46,39 +60,67 @@ class ShootReport:
 
     @property
     def ok(self) -> bool:
-        return self.finished_at is not None and self.method != "failed"
+        return self.finished and not self.failed
+
+    def __str__(self) -> str:
+        if self.ok:
+            return f"{self.host}: up after {self.minutes:.1f} min via {self.method}"
+        return f"{self.host}: FAILED via {self.method} ({self.error or 'unknown'})"
 
 
-def shoot_node(frontend: RocksFrontend, machine: Machine) -> Process:
-    """Reinstall one node; the process yields a :class:`ShootReport`."""
+def shoot_node(
+    frontend: RocksFrontend,
+    machine: Machine,
+    deadline: Optional[float] = None,
+    force_pdu: bool = False,
+) -> Process:
+    """Reinstall one node; the process yields a :class:`ShootReport`.
+
+    ``deadline`` bounds the wait for the node to come back UP (seconds);
+    without one, shoot-node watches forever, as the original tool did.
+    ``force_pdu`` skips the Ethernet attempt — the escalation step a
+    campaign supervisor takes after a soft reinstall already failed.
+    """
     return frontend.env.process(
-        _shoot(frontend, machine), name=f"shoot-node:{machine.hostid}"
+        _shoot(frontend, machine, deadline, force_pdu),
+        name=f"shoot-node:{machine.hostid}",
     )
 
 
-def shoot_nodes(frontend: RocksFrontend, machines: list[Machine]) -> Process:
+def shoot_nodes(
+    frontend: RocksFrontend,
+    machines: list[Machine],
+    deadline: Optional[float] = None,
+) -> Process:
     """Reinstall many nodes concurrently; yields a list of reports.
 
     This is the §6.3 experiment: N simultaneous reinstalls against one
-    install server.
+    install server.  Every node gets a report — failed shoots return a
+    report in its failed terminal state rather than poisoning the batch.
     """
     env = frontend.env
 
     def run_all() -> Generator:
-        procs = [shoot_node(frontend, m) for m in machines]
+        procs = [shoot_node(frontend, m, deadline=deadline) for m in machines]
         reports = yield AllOf(env, procs)
         return list(reports)
 
     return env.process(run_all(), name=f"shoot-nodes:x{len(machines)}")
 
 
-def _shoot(frontend: RocksFrontend, machine: Machine) -> Generator:
+def _shoot(
+    frontend: RocksFrontend,
+    machine: Machine,
+    deadline: Optional[float],
+    force_pdu: bool,
+) -> Generator:
     env = frontend.env
     report = ShootReport(
         host=machine.hostid, method="ethernet", started_at=env.now
     )
     reachable = (
-        machine.state is MachineState.UP
+        not force_pdu
+        and machine.state is MachineState.UP
         and frontend.cluster.ethernet_reachable(frontend.machine, machine)
     )
     if reachable:
@@ -88,7 +130,9 @@ def _shoot(frontend: RocksFrontend, machine: Machine) -> Generator:
     else:
         pdu_outlet = frontend.cluster.pdu_for(machine)
         if pdu_outlet is None:
-            report.method = "failed"
+            report.method = "none"
+            report.failed = True
+            report.error = "unreachable over Ethernet and no PDU outlet wired"
             return report
         pdu, outlet = pdu_outlet
         report.method = "pdu"
@@ -96,6 +140,19 @@ def _shoot(frontend: RocksFrontend, machine: Machine) -> Generator:
 
     # "pops open an xterm window which displays the status" — the eKV view
     report.ekv = EkvConsole(frontend.cluster, machine)
-    yield machine.wait_for_state(MachineState.UP)
+    up = machine.wait_for_state(MachineState.UP)
+    if deadline is None:
+        yield up
+    else:
+        hung = machine.wait_for_state(MachineState.HUNG)
+        timer = env.timeout(deadline)
+        yield AnyOf(env, (up, hung, timer))
+        if not up.triggered:
+            report.failed = True
+            if hung.triggered:
+                report.error = "node hung during reinstallation"
+            else:
+                report.error = f"not back up after {deadline:.0f}s"
+            return report
     report.finished_at = env.now
     return report

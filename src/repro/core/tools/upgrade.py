@@ -22,7 +22,7 @@ from ...scheduler import Job
 from ..frontend import RocksFrontend
 from .shoot_node import shoot_node
 
-__all__ = ["queue_cluster_reinstall", "ReinstallCampaign"]
+__all__ = ["queue_cluster_reinstall", "QueuedReinstallCampaign"]
 
 #: generous per-node walltime bound; the job completes early when the
 #: node is back up (a reinstall is 5-10 minutes, §5)
@@ -30,8 +30,13 @@ REINSTALL_WALLTIME = 3600.0
 
 
 @dataclass
-class ReinstallCampaign:
-    """Tracks one queued 'reinstall cluster' operation."""
+class QueuedReinstallCampaign:
+    """Tracks one queued 'reinstall cluster' operation.
+
+    Distinct from :class:`repro.core.tools.campaign.ReinstallCampaign`
+    (the fault-tolerant supervisor): this one rides the batch queue so
+    running applications are never disturbed.
+    """
 
     jobs: list[Job] = field(default_factory=list)
     reports: list = field(default_factory=list)
@@ -50,9 +55,9 @@ def queue_cluster_reinstall(
     frontend: RocksFrontend,
     priority: int = 100,
     owner: str = "root",
-) -> ReinstallCampaign:
+) -> QueuedReinstallCampaign:
     """Submit per-node reinstall system jobs for every compute node."""
-    campaign = ReinstallCampaign()
+    campaign = QueuedReinstallCampaign()
     for machine in frontend.compute_machines():
         job = frontend.pbs.qsub(
             owner=owner,
@@ -68,7 +73,7 @@ def queue_cluster_reinstall(
     return campaign
 
 
-def _make_reinstaller(frontend: RocksFrontend, machine, campaign: ReinstallCampaign):
+def _make_reinstaller(frontend: RocksFrontend, machine, campaign: QueuedReinstallCampaign):
     env = frontend.env
 
     def on_start(job: Job) -> None:

@@ -1,0 +1,50 @@
+"""Fault injection for the simulated Rocks cluster.
+
+The paper's §4 thesis is that world-class environments fail — nodes go
+dark, services crash, payloads corrupt — and that complete reinstallation
+is the recovery primitive that keeps large clusters manageable.  This
+package supplies the *failure* half of that argument: seeded,
+declarative :class:`~repro.faults.plan.FaultPlan` schedules, an
+:class:`~repro.faults.injector.FaultInjector` that arms them as
+environment processes with a full injection log, and
+:func:`~repro.faults.experiment.chaos_reinstall`, which re-runs the
+Table I mass-reinstall experiment under fire.
+"""
+
+from .experiment import ChaosResult, chaos_reinstall
+from .injector import FaultInjector, InjectionRecord
+from .plan import (
+    PLANS,
+    DhcpBlackout,
+    Fault,
+    FaultPlan,
+    LinkDegrade,
+    LinkFlap,
+    NfsOutage,
+    NodeCrash,
+    NodeHang,
+    PackageCorruption,
+    ServerCrash,
+    ServiceOutage,
+    named_plan,
+)
+
+__all__ = [
+    "ChaosResult",
+    "chaos_reinstall",
+    "FaultInjector",
+    "InjectionRecord",
+    "PLANS",
+    "DhcpBlackout",
+    "Fault",
+    "FaultPlan",
+    "LinkDegrade",
+    "LinkFlap",
+    "NfsOutage",
+    "NodeCrash",
+    "NodeHang",
+    "PackageCorruption",
+    "ServerCrash",
+    "ServiceOutage",
+    "named_plan",
+]

@@ -1,0 +1,70 @@
+"""End-to-end chaos experiment: the Table I campaign under a fault plan.
+
+This is the shared driver behind ``python -m repro chaos`` and
+``benchmarks/bench_chaos_reinstall.py``: stand up a cluster, integrate
+its nodes cleanly, then arm a fault plan and run a self-healing
+:class:`~repro.core.tools.campaign.ReinstallCampaign` over every node.
+The result pairs the campaign's graceful-degradation report with the
+injector's log, so a run answers both "what did we do to the cluster?"
+and "how well did it cope?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.tools import CampaignReport, EscalationPolicy, ReinstallCampaign
+from ..quickbuild import build_cluster
+from .injector import FaultInjector
+from .plan import FaultPlan, named_plan
+
+__all__ = ["ChaosResult", "chaos_reinstall"]
+
+
+@dataclass
+class ChaosResult:
+    """One chaos campaign: what was injected and how the cluster coped."""
+
+    plan: FaultPlan
+    n_nodes: int
+    report: CampaignReport
+    injector: FaultInjector
+
+    @property
+    def minutes(self) -> float:
+        return self.report.minutes
+
+    @property
+    def completion_rate(self) -> float:
+        return self.report.completion_rate
+
+    def render(self) -> str:
+        return "\n".join([self.injector.render_log(), "", self.report.render()])
+
+
+def chaos_reinstall(
+    n_nodes: int = 32,
+    plan: "FaultPlan | str" = "default",
+    seed: Optional[int] = None,
+    policy: Optional[EscalationPolicy] = None,
+    **build_kwargs,
+) -> ChaosResult:
+    """Reinstall ``n_nodes`` concurrently while the plan's faults fire.
+
+    Fault ``at`` offsets are relative to campaign start (the cluster is
+    integrated cleanly first).  ``plan`` may be a :class:`FaultPlan` or
+    a name from :data:`repro.faults.plan.PLANS`; ``seed`` re-seeds it.
+    """
+    if isinstance(plan, str):
+        plan = named_plan(plan, seed)
+    elif seed is not None:
+        plan = plan.with_seed(seed)
+    sim = build_cluster(n_compute=n_nodes, **build_kwargs)
+    sim.integrate_all()
+    injector = FaultInjector(plan).arm(sim.frontend, sim.nodes)
+    campaign = ReinstallCampaign(sim.frontend, policy or EscalationPolicy())
+    report = sim.env.run(until=campaign.run(sim.nodes))
+    return ChaosResult(
+        plan=plan, n_nodes=n_nodes, report=report, injector=injector
+    )

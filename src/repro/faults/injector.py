@@ -1,0 +1,215 @@
+"""Arms a :class:`~repro.faults.plan.FaultPlan` against a live cluster.
+
+The injector is the bridge between declarative fault entries and the
+simulation: :meth:`FaultInjector.arm` resolves each entry's target
+(a frontend service, a NIC, a victim node), spawns one environment
+process per entry, and appends an :class:`InjectionRecord` to
+:attr:`FaultInjector.log` for every action actually taken — including
+the repair/restore half of each fault, and every individual package
+payload the corruption hook mangles.
+
+Determinism: all randomness flows from ``plan.seed`` through per-fault
+sub-RNGs (victim node picks are drawn when the entry fires, corruption
+coin-flips when each payload is fetched).  The DES itself is
+deterministic, so the same plan + seed + cluster always yields a
+byte-identical injection log.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Generator, Optional, Sequence
+
+from ..cluster import Machine
+from ..core.frontend import RocksFrontend
+from .plan import (
+    FRONTEND,
+    Fault,
+    FaultPlan,
+    LinkDegrade,
+    LinkFlap,
+    NodeCrash,
+    NodeHang,
+    PackageCorruption,
+    ServiceOutage,
+)
+
+__all__ = ["InjectionRecord", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One thing the injector did to the cluster, timestamped."""
+
+    t: float
+    kind: str
+    target: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        extra = f" ({self.detail})" if self.detail else ""
+        return f"[{self.t:9.2f}s] {self.kind:<18} {self.target}{extra}"
+
+
+class FaultInjector:
+    """Turns a fault plan into armed environment processes."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.log: list[InjectionRecord] = []
+        self._armed = False
+
+    # -- the public surface ------------------------------------------------
+    def arm(
+        self,
+        frontend: RocksFrontend,
+        targets: Sequence[Machine] = (),
+    ) -> "FaultInjector":
+        """Schedule every fault in the plan against ``frontend``.
+
+        ``targets`` are the campaign's victim pool for node-level faults
+        (``NodeHang``/``NodeCrash``) and the ``node:<i>`` host selector.
+        Arming is idempotent-hostile by design: arm once per run.
+        """
+        if self._armed:
+            raise RuntimeError("fault plan already armed")
+        self._armed = True
+        env = frontend.env
+        targets = list(targets)
+        corruptions: list[tuple[PackageCorruption, random.Random]] = []
+        for i, fault in enumerate(self.plan.faults):
+            rng = random.Random(self.plan.seed * 1_000_003 + i)
+            if isinstance(fault, PackageCorruption):
+                corruptions.append((fault, rng))
+                continue
+            env.process(
+                self._deliver(env, frontend, targets, fault, rng),
+                name=f"fault:{fault.describe()}",
+            )
+        if corruptions:
+            self._install_corruption_hook(frontend, corruptions)
+        return self
+
+    def signature(self) -> tuple[tuple[float, str, str, str], ...]:
+        """The log as comparable data: same seed ⇒ identical signature."""
+        return tuple((r.t, r.kind, r.target, r.detail) for r in self.log)
+
+    def render_log(self) -> str:
+        header = f"injection log: {self.plan.describe()}"
+        return "\n".join([header, *map(str, self.log)] if self.log else
+                         [header, "  (no injections fired)"])
+
+    # -- delivery ----------------------------------------------------------
+    def _record(self, env, kind: str, target: str, detail: str = "") -> None:
+        self.log.append(InjectionRecord(env.now, kind, target, detail))
+
+    def _deliver(
+        self,
+        env,
+        frontend: RocksFrontend,
+        targets: list[Machine],
+        fault: Fault,
+        rng: random.Random,
+    ) -> Generator:
+        yield env.timeout(fault.at)
+        if isinstance(fault, ServiceOutage):
+            yield from self._deliver_outage(env, frontend, fault)
+        elif isinstance(fault, LinkDegrade):
+            yield from self._deliver_degrade(env, frontend, targets, fault)
+        elif isinstance(fault, LinkFlap):
+            yield from self._deliver_flap(env, frontend, targets, fault)
+        elif isinstance(fault, (NodeHang, NodeCrash)):
+            self._deliver_node_fault(env, targets, fault, rng)
+        else:  # pragma: no cover - new fault types must be wired here
+            raise TypeError(f"no delivery for fault type {type(fault).__name__}")
+
+    def _deliver_outage(self, env, frontend, fault: ServiceOutage) -> Generator:
+        services = {
+            "install": frontend.install_server,
+            "dhcp": frontend.dhcp,
+            "nfs": frontend.nfs,
+        }
+        try:
+            service = services[fault.service]
+        except KeyError:
+            raise ValueError(
+                f"unknown service {fault.service!r}; have {sorted(services)}"
+            ) from None
+        service.fail()
+        self._record(env, "service-fail", fault.service,
+                     f"repair in {fault.duration:g}s" if fault.duration else "no repair")
+        if fault.duration:
+            yield env.timeout(fault.duration)
+            service.repair()
+            self._record(env, "service-repair", fault.service)
+
+    def _resolve_machine(
+        self, frontend: RocksFrontend, targets: list[Machine], selector: str
+    ) -> Machine:
+        if selector == FRONTEND:
+            return frontend.machine
+        if selector.startswith("node:"):
+            return targets[int(selector.split(":", 1)[1])]
+        return frontend.cluster.find(selector)
+
+    def _deliver_degrade(self, env, frontend, targets, fault: LinkDegrade) -> Generator:
+        machine = self._resolve_machine(frontend, targets, fault.host)
+        network = frontend.cluster.network
+        original = network.host(machine.mac).speed
+        network.set_host_speed(machine.mac, original * fault.factor)
+        self._record(env, "link-degrade", machine.hostid,
+                     f"x{fault.factor:g} for {fault.duration:g}s")
+        yield env.timeout(fault.duration)
+        network.set_host_speed(machine.mac, original)
+        self._record(env, "link-restore", machine.hostid)
+
+    def _deliver_flap(self, env, frontend, targets, fault: LinkFlap) -> Generator:
+        machine = self._resolve_machine(frontend, targets, fault.host)
+        network = frontend.cluster.network
+        for cycle in range(1, fault.flaps + 1):
+            network.set_host_up(machine.mac, False)
+            self._record(env, "link-down", machine.hostid,
+                         f"flap {cycle}/{fault.flaps}")
+            yield env.timeout(fault.down_seconds)
+            # Restore truthfully: sync against the OS state, so a link is
+            # not forced up on a host that hung or powered off meanwhile.
+            frontend.cluster.sync_link_state(machine)
+            self._record(env, "link-up", machine.hostid,
+                         f"flap {cycle}/{fault.flaps}")
+            if cycle < fault.flaps:
+                yield env.timeout(fault.up_seconds)
+
+    def _deliver_node_fault(self, env, targets, fault, rng: random.Random) -> None:
+        if fault.node is not None:
+            victims = [targets[fault.node]]
+        else:
+            pool = list(targets)
+            k = min(fault.count, len(pool))
+            victims = rng.sample(pool, k) if k else []
+        for machine in victims:
+            if isinstance(fault, NodeHang):
+                machine.hang(cause="injected fault")
+                self._record(env, "node-hang", machine.hostid)
+            else:
+                machine.power_off(hard=True)
+                self._record(env, "node-crash", machine.hostid, "power lost")
+
+    def _install_corruption_hook(
+        self,
+        frontend: RocksFrontend,
+        corruptions: list[tuple[PackageCorruption, random.Random]],
+    ) -> None:
+        env = frontend.env
+
+        def corrupt(client: str, pkg) -> bool:
+            for fault, rng in corruptions:
+                end = None if fault.duration is None else fault.at + fault.duration
+                if env.now < fault.at or (end is not None and env.now >= end):
+                    continue
+                if rng.random() < fault.rate:
+                    self._record(env, "corrupt-package", client, pkg.nevra)
+                    return True
+            return False
+
+        frontend.install_server.corruption_hook = corrupt

@@ -1,6 +1,12 @@
 """The simulated anaconda/Kickstart installer substrate."""
 
-from .anaconda import InstallReport, InstallSource, KickstartInstaller
+from .anaconda import (
+    InstallError,
+    InstallReport,
+    InstallSource,
+    KickstartInstaller,
+    fetch_with_retry,
+)
 from .hwdetect import DetectedHardware, probe
 from .partition import PartitionError, apply_plan
 from .phases import (
@@ -17,9 +23,11 @@ from .profile import (
 from .screen import InstallProgress, render_install_screen
 
 __all__ = [
+    "InstallError",
     "InstallReport",
     "InstallSource",
     "KickstartInstaller",
+    "fetch_with_retry",
     "DetectedHardware",
     "probe",
     "PartitionError",

@@ -10,7 +10,11 @@ This is the process a node runs while in the ``INSTALLING`` state:
 4. pull each RPM over HTTP and install it — the per-package
    *download-then-unpack* interleaving is what makes install traffic
    bursty (~14 % wire duty cycle) and lets a single 100 Mbit server
-   feed many concurrent reinstalls (Table I);
+   feed many concurrent reinstalls (Table I); every fetch is guarded by
+   a timeout and bounded exponential-backoff retries, and payloads are
+   checksum-verified (corrupt packages are re-fetched), so transient
+   server crashes, link flaps, and bad payloads delay rather than kill
+   an installation;
 5. run %post scripts, including the Myrinet GM source rebuild on nodes
    with Myrinet hardware (20-30 % time penalty, §6.3);
 6. hand back to the lifecycle, which reboots into the fresh OS.
@@ -26,7 +30,15 @@ from typing import Callable, Generator, Optional
 
 from ..cluster.node import Machine
 from ..kernel import MyrinetDriver
-from ..netsim import Interrupt, Process
+from ..netsim import (
+    AnyOf,
+    Environment,
+    HostDown,
+    HttpError,
+    Interrupt,
+    Process,
+    TransferAborted,
+)
 from ..rpm import BuildError
 from ..services import DhcpLease, DhcpServer, ServiceError
 from .hwdetect import probe
@@ -35,7 +47,86 @@ from .phases import DEFAULT_CALIBRATION, InstallCalibration
 from .profile import InstallProfile
 from .screen import InstallProgress
 
-__all__ = ["KickstartInstaller", "InstallReport", "InstallSource"]
+__all__ = [
+    "KickstartInstaller",
+    "InstallError",
+    "InstallReport",
+    "InstallSource",
+    "fetch_with_retry",
+]
+
+
+class InstallError(Exception):
+    """Anaconda gave up: the failure verdict a hung installation reports.
+
+    Raising this (rather than looping forever) is what turns a dead
+    dhcpd or an unreachable install server into a diagnosable HUNG node
+    that shoot-node's §4 escalation can recover.
+    """
+
+
+#: Retriable transport failures: the server crashed (5xx), the transfer
+#: was reset (flow cancelled), or an endpoint link is down.
+RETRIABLE_ERRORS = (HttpError, TransferAborted, ServiceError, HostDown)
+
+
+def fetch_with_retry(
+    env: Environment,
+    make_fetch: Callable[[], Process],
+    cal: InstallCalibration,
+    what: str,
+    say: Callable[[str], None] = lambda line: None,
+    expect_checksum: str = "",
+    stats: Optional[dict] = None,
+):
+    """Fetch with a timeout, bounded retries, and checksum verification.
+
+    ``make_fetch`` builds a fresh fetch process per attempt — against a
+    load-balanced source each retry naturally re-selects a live server.
+    A response whose checksum disagrees with ``expect_checksum`` counts
+    as a failed attempt and is re-fetched.  ``stats`` (if given) gets
+    ``retries``/``corrupt`` counters incremented.  Raises
+    :class:`InstallError` once ``cal.download_max_attempts`` is spent.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        fetch = make_fetch()
+        deadline = env.timeout(cal.download_timeout_seconds)
+        failure = None
+        try:
+            yield AnyOf(env, (fetch, deadline))
+        except Interrupt:
+            # The machine died under us: tear down the in-flight fetch.
+            if fetch.is_alive:
+                fetch.interrupt("installation aborted")
+            raise
+        except RETRIABLE_ERRORS as err:
+            failure = str(err)
+        else:
+            if not fetch.triggered:
+                fetch.interrupt("download timeout")
+                failure = f"no data for {cal.download_timeout_seconds:.0f}s"
+            elif not fetch.ok:
+                failure = str(fetch.value)
+            else:
+                resp = fetch.value
+                got = getattr(resp, "checksum", "")
+                if expect_checksum and got and got != expect_checksum:
+                    failure = f"checksum mismatch ({got})"
+                    if stats is not None:
+                        stats["corrupt"] = stats.get("corrupt", 0) + 1
+                else:
+                    return resp
+        if attempt >= cal.download_max_attempts:
+            raise InstallError(
+                f"{what}: giving up after {attempt} attempts ({failure})"
+            )
+        if stats is not None:
+            stats["retries"] = stats.get("retries", 0) + 1
+        backoff = cal.download_backoff(attempt)
+        say(f"{what}: {failure}; retrying in {backoff:.0f}s")
+        yield env.timeout(backoff)
 
 
 class InstallSource:
@@ -59,6 +150,10 @@ class InstallReport:
     bytes_transferred: float = 0.0
     myrinet_rebuilt: bool = False
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: download attempts beyond the first (timeouts, 5xx, resets)
+    download_retries: int = 0
+    #: packages re-fetched because their payload checksum was wrong
+    corrupt_refetches: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -96,7 +191,7 @@ class KickstartInstaller:
         env = machine.env
         cal = self.cal
         report = InstallReport(host=machine.hostid, started_at=env.now)
-        fetch: Optional[Process] = None
+        stats: dict = {}
 
         def say(line: str) -> None:
             machine.console_write(line)
@@ -119,9 +214,14 @@ class KickstartInstaller:
 
             # -- phase: kickstart fetch ------------------------------------------
             t0 = env.now
-            fetch = self.source.fetch_kickstart(machine.mac)
-            resp = yield fetch
-            fetch = None
+            resp = yield from fetch_with_retry(
+                env,
+                lambda: self.source.fetch_kickstart(machine.mac),
+                cal,
+                "kickstart",
+                say,
+                stats=stats,
+            )
             profile: InstallProfile = resp.body
             if not isinstance(profile, InstallProfile):
                 raise TypeError(
@@ -159,14 +259,20 @@ class KickstartInstaller:
                 progress.current_size = pkg.size
                 progress.current_summary = pkg.summary
                 progress.now = env.now
-                fetch = self.source.fetch_package(
-                    machine.mac,
-                    profile.dist_name,
-                    pkg,
-                    max_rate=cal.single_stream_rate,
+                yield from fetch_with_retry(
+                    env,
+                    lambda pkg=pkg: self.source.fetch_package(
+                        machine.mac,
+                        profile.dist_name,
+                        pkg,
+                        max_rate=cal.single_stream_rate,
+                    ),
+                    cal,
+                    pkg.nvr,
+                    say,
+                    expect_checksum=pkg.checksum,
+                    stats=stats,
                 )
-                yield fetch
-                fetch = None
                 yield env.timeout(
                     cal.cpu_install_seconds(pkg.size, hw.relative_cpu_speed)
                 )
@@ -212,6 +318,8 @@ class KickstartInstaller:
                 mark("myrinet", t0)
 
             report.finished_at = env.now
+            report.download_retries = stats.get("retries", 0)
+            report.corrupt_refetches = stats.get("corrupt", 0)
             self.reports.append(report)
             say(
                 f"installation complete: {report.total_seconds:.0f}s, "
@@ -219,14 +327,18 @@ class KickstartInstaller:
             )
             return report
         except Interrupt:
-            # Machine died under us: abort any in-flight HTTP transfer.
-            if fetch is not None and fetch.is_alive:
-                fetch.interrupt("installation aborted")
+            # Machine died under us; fetch_with_retry has already torn
+            # down any in-flight HTTP transfer on its way out.
             say("installation aborted")
             raise
 
     def _dhcp_loop(self, machine: Machine, say) -> Generator:
-        """DISCOVER until the database knows us (insert-ethers window)."""
+        """DISCOVER until the database knows us (insert-ethers window).
+
+        Bounded by ``dhcp_max_attempts``: a dhcpd that never answers
+        produces an installer-failure verdict (the node goes HUNG with a
+        diagnosis) instead of an install that spins forever.
+        """
         env = machine.env
         attempt = 0
         while True:
@@ -241,4 +353,9 @@ class KickstartInstaller:
                 return lease
             if attempt == 1:
                 say("eth0: DHCPDISCOVER — waiting to be inserted into the database")
+            if self.cal.dhcp_max_attempts and attempt >= self.cal.dhcp_max_attempts:
+                raise InstallError(
+                    f"DHCP: no answer after {attempt} attempts; "
+                    "is dhcpd running and this MAC in the database?"
+                )
             yield env.timeout(self.cal.dhcp_retry_seconds)

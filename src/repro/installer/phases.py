@@ -48,6 +48,24 @@ class InstallCalibration:
     post_config_seconds: float = 45.0
     #: single-stream HTTP payload rate cap (bytes/s)
     single_stream_rate: float = SINGLE_STREAM_HTTP_RATE
+    #: DHCPDISCOVER attempts before anaconda gives up (0 = retry forever);
+    #: the default bounds a dead dhcpd at ~56 min of retrying — far past
+    #: any insert-ethers window, so only true outages hit the verdict
+    dhcp_max_attempts: int = 240
+    #: wall-clock bound on one HTTP fetch before anaconda resets the
+    #: connection and retries; generous against worst-case Table I
+    #: contention (32 nodes sharing the server NIC)
+    download_timeout_seconds: float = 300.0
+    #: download attempts per object (timeouts, 5xx, resets, corruption);
+    #: six attempts give 62 s of cumulative backoff, enough to ride out
+    #: a short install-server crash/restart without condemning the node
+    download_max_attempts: int = 6
+    #: base of the exponential backoff between download retries
+    download_backoff_seconds: float = 2.0
+
+    def download_backoff(self, attempt: int) -> float:
+        """Seconds to wait after failed attempt number ``attempt`` (1-based)."""
+        return self.download_backoff_seconds * (2.0 ** (attempt - 1))
 
     def cpu_install_seconds(self, size_bytes: float, relative_speed: float) -> float:
         """CPU time to unpack/install one package on a given node."""

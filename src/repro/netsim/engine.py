@@ -138,9 +138,13 @@ class _Condition(Event):
         for ev in self.events:
             if ev.env is not env:
                 raise SimulationError("cannot mix events from different environments")
-            if ev.triggered:
+            if ev.triggered and not ev._scheduled:
+                # Already dispatched: its occurrence is in the past.
                 self._on_child(ev)
             else:
+                # Pending (including a Timeout, which is born triggered
+                # but dispatches at now+delay): observe it at dispatch,
+                # like every other callback.
                 ev.callbacks.append(self._on_child)
         if not self._triggered:
             self._check(initial=True)
@@ -175,7 +179,9 @@ class AnyOf(_Condition):
     def _check(self, initial: bool) -> None:
         if self._n_done >= 1 and len(self.events) > 0:
             for ev in self.events:
-                if ev.triggered:
+                # Only a dispatched child counts as having occurred; an
+                # undispatched Timeout sibling is still in the future.
+                if ev.triggered and not ev._scheduled:
                     self.succeed(ev._value)
                     return
 

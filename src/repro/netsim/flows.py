@@ -166,6 +166,16 @@ class FlowNetwork:
         self._advance()
         return self._bytes_moved
 
+    def recompute(self) -> None:
+        """Re-run fair sharing after an exogenous capacity change.
+
+        Link capacities are read only when rates are allocated, so fault
+        injection (degrading a NIC mid-transfer) must credit progress at
+        the old rates and then redistribute.
+        """
+        self._advance()
+        self._reallocate()
+
     # -- internals ----------------------------------------------------------
     def _cancel(self, flow: Flow) -> None:
         if flow not in self._flows:

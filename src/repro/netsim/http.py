@@ -48,13 +48,18 @@ class HttpError(Exception):
 
 @dataclass
 class HttpResponse:
-    """Outcome of a GET: status, payload size, optional computed body."""
+    """Outcome of a GET: status, payload size, optional computed body.
+
+    ``checksum`` is filled in by content-aware layers (the install
+    server stamps each RPM's payload digest); empty means unverifiable.
+    """
 
     status: int
     path: str
     size: float
     body: Any = None
     server: str = ""
+    checksum: str = ""
 
 
 CgiHandler = Callable[[str, str], tuple[Any, float]]
@@ -119,6 +124,12 @@ class HttpServer:
         """Re-derive the service cap after the host NIC was upgraded."""
         wire = self.network.host(self.host).tx.capacity or 0.0
         self.service_link.capacity = wire * self.efficiency or None
+
+    def abort_transfers(self) -> None:
+        """Reset every in-flight connection (the daemon was killed)."""
+        for flow in list(self.network.flows._flows):
+            if self.service_link in flow.path:
+                flow.cancel()
 
     # -- request path -------------------------------------------------------
     def get(

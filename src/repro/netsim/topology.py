@@ -93,6 +93,15 @@ class Network:
     def hosts(self) -> Iterable[Host]:
         return self._hosts.values()
 
+    def set_host_speed(self, name: str, speed: float) -> None:
+        """Change a host's NIC speed, rebalancing in-flight transfers.
+
+        This is the link-degradation fault: unlike :meth:`Host.set_speed`
+        (a pre-run configuration), it is safe while flows are active.
+        """
+        self.host(name).set_speed(speed)
+        self.flows.recompute()
+
     def set_host_up(self, name: str, up: bool) -> None:
         """Mark a host's link state; down hosts cannot move traffic."""
         host = self.host(name)

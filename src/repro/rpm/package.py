@@ -12,6 +12,7 @@ node files compile into).
 from __future__ import annotations
 
 import enum
+import zlib
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
 
@@ -138,6 +139,16 @@ class Package:
     def filename(self) -> str:
         ext = "src.rpm" if self.is_source else f"{self.arch}.rpm"
         return f"{self.name}-{self.version}-{self.release}.{ext}"
+
+    @property
+    def checksum(self) -> str:
+        """Digest of the package payload, as rpm's header MD5 would carry.
+
+        Derived from the NEVRA and size so it is stable across processes;
+        the installer compares it against what actually arrived to detect
+        corrupted downloads.
+        """
+        return f"{zlib.crc32(f'{self.nevra}:{self.size}'.encode()):08x}"
 
     # -- semantics ----------------------------------------------------------
     def newer_than(self, other: "Package") -> bool:

@@ -1,6 +1,6 @@
 """Simulated cluster services: syslog, DHCP, HTTP install server, NIS, NFS."""
 
-from .base import Service, ServiceError, ServiceState
+from .base import Faultable, Service, ServiceError, ServiceState
 from .monitor import ClusterMonitor, Metrics, MonitorDaemon, enable_monitoring
 from .dhcpd import DhcpBinding, DhcpLease, DhcpServer
 from .httpd import KICKSTART_CGI_PATH, InstallServer, rpms_prefix
@@ -9,6 +9,7 @@ from .nis import NisClient, NisDomain, UserAccount
 from .syslogd import Syslog, SyslogMessage
 
 __all__ = [
+    "Faultable",
     "Service",
     "ClusterMonitor",
     "Metrics",

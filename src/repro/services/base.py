@@ -5,6 +5,11 @@ Rocks regenerates service configuration files from database reports and
 therefore exposes the same small lifecycle — configure / start / stop /
 restart — plus a restart counter so tests and benchmarks can observe the
 regenerate-and-restart pattern.
+
+:class:`Faultable` is the failure-injection surface: :mod:`repro.faults`
+targets any service through the same ``fail()``/``repair()`` pair, so a
+dhcpd blackout and an httpd crash are expressed identically (§4 calls
+these common-mode failures, "often NFS").
 """
 
 from __future__ import annotations
@@ -12,7 +17,7 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
-__all__ = ["Service", "ServiceState", "ServiceError"]
+__all__ = ["Faultable", "Service", "ServiceState", "ServiceError"]
 
 
 class ServiceError(Exception):
@@ -25,7 +30,36 @@ class ServiceState(enum.Enum):
     FAILED = "failed"  # common-mode failure (§4: "often NFS")
 
 
-class Service:
+class Faultable:
+    """Uniform failure-injection hooks.
+
+    A faulted service stays dead — requests raise, clients stall — until
+    ``repair()`` brings it back.  Subclasses that mirror their state onto
+    other resources (a daemon flag, open connections) override
+    :meth:`_sync_runtime`, which runs after *every* lifecycle transition.
+    """
+
+    state: ServiceState
+
+    def fail(self) -> None:
+        """Inject a failure (the service stays dead until repaired)."""
+        self.state = ServiceState.FAILED
+        self._sync_runtime()
+
+    def repair(self) -> None:
+        if self.state is ServiceState.FAILED:
+            self.state = ServiceState.RUNNING
+            self._sync_runtime()
+
+    @property
+    def faulted(self) -> bool:
+        return self.state is ServiceState.FAILED
+
+    def _sync_runtime(self) -> None:
+        """Reflect the current state onto backing resources (hook)."""
+
+
+class Service(Faultable):
     """Base class: named service with a config text and lifecycle."""
 
     def __init__(self, name: str):
@@ -40,22 +74,16 @@ class Service:
         if self.state is ServiceState.RUNNING:
             return
         self.state = ServiceState.RUNNING
+        self._sync_runtime()
 
     def stop(self) -> None:
         self.state = ServiceState.STOPPED
+        self._sync_runtime()
 
     def restart(self) -> None:
         self.stop()
         self.start()
         self.restarts += 1
-
-    def fail(self) -> None:
-        """Inject a failure (the service stays dead until repaired)."""
-        self.state = ServiceState.FAILED
-
-    def repair(self) -> None:
-        if self.state is ServiceState.FAILED:
-            self.state = ServiceState.RUNNING
 
     @property
     def running(self) -> bool:

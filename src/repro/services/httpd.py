@@ -11,12 +11,13 @@ frontend.  Replication for load balancing (§6.3) reuses
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Callable, Generator, Optional, Union
 
 from ..netsim import (
     DEFAULT_HTTP_EFFICIENCY,
     Environment,
     HttpServer,
+    Interrupt,
     LoadBalancer,
     Network,
     Process,
@@ -49,24 +50,18 @@ class InstallServer(Service):
         self.host = host
         self.http = HttpServer(network, host, efficiency=efficiency)
         self._published: dict[str, dict[str, Package]] = {}
+        #: fault-injection hook: (client, package) -> True to corrupt the
+        #: payload the client receives (repro.faults installs this)
+        self.corruption_hook: Optional[Callable[[str, Package], bool]] = None
         self.start()
 
     # -- lifecycle glue -------------------------------------------------------
-    def start(self) -> None:
-        super().start()
-        self.http.running = True
-
-    def stop(self) -> None:
-        super().stop()
-        self.http.running = False
-
-    def fail(self) -> None:
-        super().fail()
-        self.http.running = False
-
-    def repair(self) -> None:
-        super().repair()
+    def _sync_runtime(self) -> None:
         self.http.running = self.running
+        if not self.running:
+            # A dead daemon resets its open connections: in-flight
+            # downloads abort (and the installer's retry path kicks in).
+            self.http.abort_transfers()
 
     # -- publishing --------------------------------------------------------------
     def publish_packages(
@@ -106,10 +101,32 @@ class InstallServer(Service):
         pkg: Package,
         max_rate: Optional[float] = None,
     ) -> Process:
-        """GET one RPM (a process; yields the HttpResponse)."""
-        return self.http.get(
+        """GET one RPM (a process; yields the HttpResponse).
+
+        The response carries the payload checksum the client actually
+        received, so the installer can detect corrupted downloads.
+        """
+        return self.env.process(
+            self._fetch_package(client, dist_name, pkg, max_rate),
+            name=f"GET {pkg.filename} {client}<-{self.host}",
+        )
+
+    def _fetch_package(
+        self, client: str, dist_name: str, pkg: Package, max_rate: Optional[float]
+    ) -> Generator:
+        get = self.http.get(
             client, f"{rpms_prefix(dist_name)}/{pkg.filename}", max_rate=max_rate
         )
+        try:
+            resp = yield get
+        except Interrupt:
+            if get.is_alive:
+                get.interrupt("fetch aborted")
+            raise
+        resp.checksum = pkg.checksum
+        if self.corruption_hook is not None and self.corruption_hook(client, pkg):
+            resp.checksum = f"corrupt:{pkg.checksum}"
+        return resp
 
     def fetch_kickstart(self, client: str) -> Process:
         return self.http.get(client, KICKSTART_CGI_PATH)

@@ -3,10 +3,11 @@
 §5: "We have employed one unscalable service, the Network File System.
 The frontend node exports all user home directories to compute nodes via
 NFS."  §4 adds that when a node's Ethernet won't come up the culprit is
-usually "a central (common-mode) service (often NFS)".  The failure
-injection here (``fail()``) drives the common-mode-failure experiment:
-every mounted client stalls at once, and the fix is repair-then-remote-
-power-cycle, exactly the paper's recipe.
+usually "a central (common-mode) service (often NFS)".  Failure
+injection rides the shared :class:`~repro.services.base.Faultable`
+surface (``fail()``/``repair()``) and drives the common-mode-failure
+experiment: every mounted client stalls at once, and the fix is
+repair-then-remote-power-cycle, exactly the paper's recipe.
 """
 
 from __future__ import annotations

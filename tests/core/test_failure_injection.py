@@ -23,8 +23,8 @@ def test_dhcp_outage_delays_but_does_not_fail_install():
 
 
 def test_install_server_crash_hangs_node_with_diagnostic():
-    """An HTTP failure mid-install leaves the node HUNG (a 404/503 is not
-    retryable by anaconda) — and shoot-node's PDU path recovers it."""
+    """An unrepaired HTTP server exhausts anaconda's bounded retries,
+    leaving the node HUNG — and shoot-node's PDU path recovers it."""
     sim = build_cluster(n_compute=1)
     sim.integrate_all()
     node = sim.nodes[0]
