@@ -25,6 +25,13 @@ from helpers import print_rows, reinstall_experiment
 
 PAPER_TABLE1 = {1: 10.3, 2: 9.8, 4: 10.1, 8: 10.4, 16: 11.1, 32: 13.7}
 
+#: Package streams are capped at the single-stream HTTP payload rate
+#: (7.5 of 12.5 MB/s = 60%, the paper's "7-8 MB/s" observation), so the
+#: busiest link must peak at or above this floor in any traced run; its
+#: *time-weighted mean* sits just above it for one stream (~64%), while
+#: short uncapped control fetches and concurrency spike the peak to 100%.
+SINGLE_STREAM_PEAK_UTIL = 0.60
+
 _results = {}
 
 
@@ -75,3 +82,70 @@ def bench_table1_shape(benchmark):
         ("nodes", "paper", "measured"),
         rows,
     )
+
+
+def main(argv=None) -> int:
+    """Standalone traced run: the evidence behind one Table I point.
+
+    ``python bench_table1_reinstall.py --nodes 8 --trace table1.jsonl``
+    reinstalls N nodes with telemetry on, exports the JSONL trace,
+    validates it against the trace schema, and checks the trace actually
+    carries the claim's evidence: per-node install-phase spans and a
+    frontend-link utilization timeseries peaking at or above the
+    single-stream HTTP payload ceiling.  Exit status is nonzero on any
+    schema or evidence failure (CI runs this as the benchmark smoke).
+    """
+    import argparse
+
+    from repro.telemetry import render_summary, validate_trace_lines
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="export the run's telemetry as JSONL here")
+    parser.add_argument("--summary", action="store_true",
+                        help="print the aggregated trace summary")
+    args = parser.parse_args(argv)
+
+    result = reinstall_experiment(args.nodes, trace=args.trace)
+    paper = PAPER_TABLE1.get(args.nodes)
+    print_rows(
+        f"Table I point: {args.nodes} concurrent reinstalls",
+        ("nodes", "paper", "measured"),
+        [(args.nodes, "-" if paper is None else paper, f"{result.minutes:.1f}")],
+    )
+    if args.trace is None:
+        return 0
+
+    failures = []
+    with open(args.trace, encoding="utf-8") as fh:
+        failures += validate_trace_lines(fh)
+    summary = result.trace_summary
+    phases = summary["phases"]
+    if phases.get("packages", {}).get("count", 0) < args.nodes:
+        failures.append(
+            f"expected >= {args.nodes} 'packages' install-phase spans, "
+            f"got {phases.get('packages', {}).get('count', 0)}"
+        )
+    peaks = summary["peak_link_utilization"]
+    busiest = max(peaks.values(), default=0.0)
+    if not SINGLE_STREAM_PEAK_UTIL - 0.01 <= busiest <= 1.0:
+        failures.append(
+            f"peak link utilization {busiest:.2f} outside "
+            f"[{SINGLE_STREAM_PEAK_UTIL}, 1.0]"
+        )
+    if args.summary:
+        print()
+        print(render_summary(summary))
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print(f"trace OK: {args.trace} (peak link utilization {busiest:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -17,7 +17,10 @@ The package layers, bottom to top:
   framework, rocks-dist, the cluster database, insert-ethers,
   shoot-node, eKV, cluster-fork/kill, and frontend bring-up;
 * :mod:`repro.faults` — seeded fault-injection plans and the chaos
-  reinstall experiment (§4's failure model, made executable).
+  reinstall experiment (§4's failure model, made executable);
+* :mod:`repro.telemetry` — structured tracing + metrics over the
+  simulation (install-phase spans, link-utilization timeseries), off
+  and zero-overhead by default.
 
 Quick start::
 
@@ -31,7 +34,8 @@ See ``examples/quickstart.py`` for the full tour.
 """
 
 from .quickbuild import RocksCluster, build_cluster
+from .telemetry import Tracer
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["RocksCluster", "build_cluster", "__version__"]
+__all__ = ["RocksCluster", "Tracer", "build_cluster", "__version__"]

@@ -13,6 +13,7 @@ commands would have shown.
     python -m repro kickstart --appliance compute --arch ia64
     python -m repro reports                  # hosts/dhcpd/PBS from the DB
     python -m repro chaos --nodes 32         # reinstall under fault injection
+    python -m repro trace --nodes 8          # traced reinstall + summary
 """
 
 from __future__ import annotations
@@ -162,6 +163,53 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .telemetry import (
+        Tracer,
+        render_summary,
+        summarize,
+        to_jsonl,
+        validate_trace_text,
+        write_jsonl,
+    )
+
+    if args.validate is not None:
+        with open(args.validate, encoding="utf-8") as fh:
+            problems = validate_trace_text(fh.read())
+        if problems:
+            for p in problems:
+                print(f"invalid: {p}")
+            return 1
+        print(f"{args.validate}: valid {TRACE_SUMMARY_NOTE}")
+        return 0
+
+    tracer = Tracer()
+    if args.scenario == "reinstall":
+        from . import build_cluster
+
+        sim = build_cluster(n_compute=args.nodes, tracer=tracer)
+        sim.integrate_all()
+        sim.reinstall_all()
+    else:  # chaos
+        from .faults import chaos_reinstall
+
+        chaos_reinstall(n_nodes=args.nodes, plan=args.plan, tracer=tracer)
+    if args.out:
+        n = write_jsonl(tracer, args.out)
+        print(f"wrote {n} records to {args.out}")
+    problems = validate_trace_text(to_jsonl(tracer))
+    if problems:
+        for p in problems:
+            print(f"invalid: {p}")
+        return 1
+    if args.summary or not args.out:
+        print(render_summary(summarize(tracer)))
+    return 0
+
+
+TRACE_SUMMARY_NOTE = "repro-trace JSONL"
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -214,6 +262,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-completion", type=float, default=0.9,
                    help="exit nonzero below this installed fraction")
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
+        "trace", help="run a scenario with telemetry; dump or summarize the trace"
+    )
+    p.add_argument("--scenario", default="reinstall",
+                   choices=["reinstall", "chaos"])
+    p.add_argument("--nodes", type=int, default=8)
+    from .faults import PLANS as _plans
+
+    p.add_argument("--plan", default="default", choices=sorted(_plans),
+                   help="fault plan for --scenario chaos")
+    p.add_argument("--out", default=None,
+                   help="write the trace as JSONL to this path")
+    p.add_argument("--summary", action="store_true",
+                   help="print the aggregated summary (default when no --out)")
+    p.add_argument("--validate", metavar="PATH", default=None,
+                   help="validate an existing JSONL trace file and exit")
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("reports", help="database-derived config files (§6.4)")
     p.add_argument("--nodes", type=int, default=4)

@@ -142,16 +142,24 @@ class ReinstallCampaign:
 
         def supervise() -> Generator:
             started = env.now
+            span = (
+                env.tracer.span("campaign", f"x{len(targets)}", nodes=len(targets))
+                if env.tracer.enabled
+                else None
+            )
             procs = [
                 env.process(self._drive(m), name=f"campaign:{m.hostid}")
                 for m in targets
             ]
             node_reports = yield AllOf(env, procs)
-            return CampaignReport(
+            report = CampaignReport(
                 started_at=started,
                 finished_at=env.now,
                 nodes=list(node_reports),
             )
+            if span is not None:
+                span.end(**{o.value: report.count(o) for o in NodeOutcome})
+            return report
 
         return env.process(supervise(), name=f"campaign:x{len(targets)}")
 
@@ -159,12 +167,23 @@ class ReinstallCampaign:
         """One node's escalation ladder: ethernet → retry → PDU → dead."""
         env = self.frontend.env
         policy = self.policy
+        tracer = env.tracer
         t0 = env.now
+        span = (
+            tracer.span("campaign-node", machine.hostid)
+            if tracer.enabled
+            else None
+        )
         methods: list[str] = []
         shoots: list[ShootReport] = []
         error: Optional[str] = None
         for attempt in range(1, policy.max_attempts + 1):
             force_pdu = attempt > policy.ethernet_attempts
+            if tracer.enabled and force_pdu:
+                tracer.event(
+                    "campaign-escalation", machine.hostid,
+                    attempt=attempt, method="pdu", after=str(error or ""),
+                )
             report = yield shoot_node(
                 self.frontend,
                 machine,
@@ -173,6 +192,11 @@ class ReinstallCampaign:
             )
             methods.append(report.method)
             shoots.append(report)
+            if tracer.enabled:
+                tracer.event(
+                    "campaign-attempt", machine.hostid,
+                    attempt=attempt, method=report.method, ok=report.ok,
+                )
             if report.ok:
                 if attempt == 1 and report.method == "ethernet":
                     outcome = NodeOutcome.INSTALLED
@@ -180,6 +204,8 @@ class ReinstallCampaign:
                     outcome = NodeOutcome.ESCALATED
                 else:
                     outcome = NodeOutcome.RETRIED
+                if span is not None:
+                    span.end(outcome=outcome.value, attempts=attempt)
                 return NodeCampaignReport(
                     host=machine.hostid,
                     outcome=outcome,
@@ -194,6 +220,12 @@ class ReinstallCampaign:
         # Out of attempts: power the node down so it stops thrashing the
         # install server, and report it dead for the crash cart.
         machine.power_off()
+        if span is not None:
+            span.end(
+                outcome=NodeOutcome.ABANDONED.value,
+                attempts=policy.max_attempts,
+                error=str(error or ""),
+            )
         return NodeCampaignReport(
             host=machine.hostid,
             outcome=NodeOutcome.ABANDONED,

@@ -103,6 +103,8 @@ class FaultInjector:
     # -- delivery ----------------------------------------------------------
     def _record(self, env, kind: str, target: str, detail: str = "") -> None:
         self.log.append(InjectionRecord(env.now, kind, target, detail))
+        if env.tracer.enabled:
+            env.tracer.event("fault", kind, target=target, detail=detail)
 
     def _deliver(
         self,

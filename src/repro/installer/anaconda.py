@@ -107,6 +107,11 @@ def fetch_with_retry(
             if not fetch.triggered:
                 fetch.interrupt("download timeout")
                 failure = f"no data for {cal.download_timeout_seconds:.0f}s"
+                if env.tracer.enabled:
+                    env.tracer.event(
+                        "download-timeout", what, attempt=attempt,
+                        timeout=cal.download_timeout_seconds,
+                    )
             elif not fetch.ok:
                 failure = str(fetch.value)
             else:
@@ -119,11 +124,20 @@ def fetch_with_retry(
                 else:
                     return resp
         if attempt >= cal.download_max_attempts:
+            if env.tracer.enabled:
+                env.tracer.event(
+                    "download-failed", what, attempts=attempt, failure=failure
+                )
             raise InstallError(
                 f"{what}: giving up after {attempt} attempts ({failure})"
             )
         if stats is not None:
             stats["retries"] = stats.get("retries", 0) + 1
+        if env.tracer.enabled:
+            env.tracer.event(
+                "download-retry", what, attempt=attempt, failure=failure
+            )
+            env.tracer.metrics.inc("install.download_retries")
         backoff = cal.download_backoff(attempt)
         say(f"{what}: {failure}; retrying in {backoff:.0f}s")
         yield env.timeout(backoff)
@@ -190,6 +204,7 @@ class KickstartInstaller:
     def driver(self, machine: Machine) -> Generator:
         env = machine.env
         cal = self.cal
+        tracer = env.tracer
         report = InstallReport(host=machine.hostid, started_at=env.now)
         stats: dict = {}
 
@@ -202,7 +217,15 @@ class KickstartInstaller:
             report.phase_seconds[phase] = (
                 report.phase_seconds.get(phase, 0.0) + env.now - t0
             )
+            if tracer.enabled:
+                tracer.record_span(
+                    "install-phase", phase, t0, host=machine.hostid
+                )
 
+        span = tracer.span("install", machine.hostid) if tracer.enabled else None
+        if tracer.enabled:
+            tracer.metrics.adjust("installs.concurrent", 1)
+        outcome = "failed"
         try:
             say("Red Hat Linux (C) 2000 Red Hat, Inc. -- Install System")
             # -- phase: DHCP -----------------------------------------------------
@@ -325,12 +348,23 @@ class KickstartInstaller:
                 f"installation complete: {report.total_seconds:.0f}s, "
                 f"{report.n_packages} packages, {report.bytes_transferred / 1e6:.0f} MB"
             )
+            outcome = "ok"
             return report
         except Interrupt:
             # Machine died under us; fetch_with_retry has already torn
             # down any in-flight HTTP transfer on its way out.
+            outcome = "aborted"
             say("installation aborted")
             raise
+        finally:
+            if tracer.enabled:
+                tracer.metrics.adjust("installs.concurrent", -1)
+            if span is not None:
+                span.end(
+                    outcome=outcome,
+                    packages=report.n_packages,
+                    retries=stats.get("retries", 0),
+                )
 
     def _dhcp_loop(self, machine: Machine, say) -> Generator:
         """DISCOVER until the database knows us (insert-ethers window).

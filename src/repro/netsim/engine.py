@@ -24,6 +24,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..telemetry import NULL_TRACER
+
 __all__ = [
     "Environment",
     "Event",
@@ -61,7 +63,10 @@ class Event:
     until the event triggers.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_scheduled")
+    __slots__ = (
+        "env", "callbacks", "_value", "_ok", "_triggered", "_scheduled",
+        "_cancelled",
+    )
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -70,6 +75,7 @@ class Event:
         self._ok: bool = True
         self._triggered = False
         self._scheduled = False
+        self._cancelled = False
 
     @property
     def triggered(self) -> bool:
@@ -160,6 +166,20 @@ class _Condition(Event):
     def _check(self, initial: bool) -> None:  # pragma: no cover - overridden
         raise NotImplementedError
 
+    def _detach_children(self) -> None:
+        """Stop observing children (the waiter was interrupted away).
+
+        Without this an orphaned condition keeps its ``_on_child``
+        callbacks attached: the children's later dispatches still tick
+        ``_n_done`` and can trigger the condition long after anyone
+        cared — ghost events a trace would faithfully record.
+        """
+        for ev in self.events:
+            try:
+                ev.callbacks.remove(self._on_child)
+            except ValueError:
+                pass
+
 
 class AllOf(_Condition):
     """Triggers once *all* child events have triggered."""
@@ -172,12 +192,22 @@ class AllOf(_Condition):
 
 
 class AnyOf(_Condition):
-    """Triggers once *any* child event has triggered."""
+    """Triggers once *any* child event has triggered.
+
+    An **empty** AnyOf triggers immediately (value ``()``), mirroring
+    ``AllOf([])`` and SimPy's vacuous-condition semantics.  The
+    alternative — an event that can never trigger — silently deadlocks
+    any process that yields it, which is how ``env.any_of([])`` in a
+    dynamically built wait-set used to hang whole scenarios.
+    """
 
     __slots__ = ()
 
     def _check(self, initial: bool) -> None:
-        if self._n_done >= 1 and len(self.events) > 0:
+        if not self.events:
+            self.succeed(())
+            return
+        if self._n_done >= 1:
             for ev in self.events:
                 # Only a dispatched child counts as having occurred; an
                 # undispatched Timeout sibling is still in the future.
@@ -235,6 +265,10 @@ class Process(Event):
                 target.callbacks.remove(self._resume)
             except ValueError:
                 pass
+            if isinstance(target, _Condition):
+                # The condition has no waiter left; unhook it from its
+                # children so their later dispatches cannot fire it.
+                target._detach_children()
         self._waiting_on = None
         wake = Event(self.env)
         wake.callbacks.append(self._resume)
@@ -300,6 +334,10 @@ class Environment:
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
+        self._n_cancelled = 0
+        #: telemetry sink; the no-op default costs nothing (see
+        #: :mod:`repro.telemetry` — attach a Tracer to opt in)
+        self.tracer = NULL_TRACER
 
     @property
     def now(self) -> float:
@@ -331,12 +369,36 @@ class Environment:
         event._scheduled = True
         heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
 
+    def cancel(self, event: Event) -> None:
+        """Defuse a scheduled event: its callbacks will never run.
+
+        Removal from a binary heap is O(n), so cancellation is lazy —
+        the entry is marked and skipped at dispatch — with a periodic
+        compaction once cancelled entries dominate the queue.  This is
+        what keeps wakeup-heavy workloads (flow recompute storms under
+        fault flapping) from growing the queue without bound.
+        """
+        event.callbacks.clear()
+        if event._scheduled and not event._cancelled:
+            event._cancelled = True
+            self._n_cancelled += 1
+            if self._n_cancelled > 64 and self._n_cancelled * 2 > len(self._queue):
+                self._queue = [
+                    entry for entry in self._queue if not entry[2]._cancelled
+                ]
+                heapq.heapify(self._queue)
+                self._n_cancelled = 0
+
     def step(self) -> None:
         """Dispatch the single next event."""
         if not self._queue:
             raise SimulationError("no more events to step through")
         when, _, event = heapq.heappop(self._queue)
         self._now = when
+        if event._cancelled:
+            self._n_cancelled -= 1
+            event._scheduled = False
+            return
         callbacks, event.callbacks = event.callbacks, []
         event._scheduled = False
         for cb in callbacks:

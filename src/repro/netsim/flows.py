@@ -42,17 +42,26 @@ class Link:
             raise ValueError(f"link capacity must be positive, got {capacity!r}")
         self.name = name
         self.capacity = capacity
-        self._flows: set["Flow"] = set()
+        # Insertion-ordered (dict-as-set): iteration order, and therefore
+        # every float sum and event seq derived from it, is deterministic.
+        self._flows: dict["Flow", None] = {}
 
     @property
     def n_flows(self) -> int:
         return len(self._flows)
 
     def utilization(self) -> float:
-        """Current fraction of capacity in use (0.0 for unconstrained links)."""
+        """Current fraction of capacity in use, always within [0, 1].
+
+        Infinite-rate flows (allocated while their whole path was
+        unconstrained, before this link regained a finite capacity) are
+        excluded, and transient oversubscription — a capacity degraded
+        under live flows, before the next ``recompute()`` — clamps to 1.
+        """
         if self.capacity is None:
             return 0.0
-        return sum(f.rate for f in self._flows) / self.capacity
+        used = sum(f.rate for f in self._flows if not math.isinf(f.rate))
+        return min(used / self.capacity, 1.0)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         cap = "inf" if self.capacity is None else f"{self.capacity:.0f}B/s"
@@ -79,6 +88,7 @@ class Flow:
         "finished_at",
         "label",
         "_completion_seq",
+        "_span",
     )
 
     def __init__(
@@ -100,6 +110,7 @@ class Flow:
         self.finished_at: Optional[float] = None
         self.label = label
         self._completion_seq = 0
+        self._span = None  # telemetry span, when tracing is enabled
 
     @property
     def elapsed(self) -> float:
@@ -126,10 +137,15 @@ class FlowNetwork:
 
     def __init__(self, env: Environment):
         self.env = env
-        self._flows: set[Flow] = set()
+        # dict-as-set: insertion-ordered, so rate credits and completion
+        # seqs are assigned in a run-to-run deterministic order.
+        self._flows: dict[Flow, None] = {}
         self._last_update = env.now
         self._wakeup: Optional[Event] = None
+        self._wakeup_time = math.inf
+        self._wakeup_gen = 0
         self._bytes_moved = 0.0
+        self._util_traced: dict[Link, float] = {}
 
     # -- public API -------------------------------------------------------
     def transfer(
@@ -145,14 +161,25 @@ class FlowNetwork:
         if max_rate is not None and max_rate <= 0:
             raise ValueError(f"max_rate must be positive, got {max_rate!r}")
         flow = Flow(self, tuple(path), size, max_rate, label)
+        tracer = self.env.tracer
+        if tracer.enabled:
+            flow._span = tracer.span(
+                "flow",
+                label or "flow",
+                size=float(size),
+                links=[link.name for link in flow.path],
+            )
         if size == 0:
             flow.finished_at = self.env.now
             flow.done.succeed(flow)
+            if flow._span is not None:
+                flow._span.end(outcome="done")
+                flow._span = None
             return flow
         self._advance()
-        self._flows.add(flow)
+        self._flows[flow] = None
         for link in flow.path:
-            link._flows.add(flow)
+            link._flows[flow] = None
         self._reallocate()
         return flow
 
@@ -183,13 +210,16 @@ class FlowNetwork:
         self._advance()
         self._detach(flow)
         flow.finished_at = self.env.now
+        if flow._span is not None:
+            flow._span.end(outcome="cancelled", remaining=flow.remaining)
+            flow._span = None
         flow.done.fail(TransferAborted(flow.label))
         self._reallocate()
 
     def _detach(self, flow: Flow) -> None:
-        self._flows.discard(flow)
+        self._flows.pop(flow, None)
         for link in flow.path:
-            link._flows.discard(flow)
+            link._flows.pop(flow, None)
 
     def _advance(self) -> None:
         """Credit every flow with bytes moved since the last update."""
@@ -289,23 +319,53 @@ class FlowNetwork:
 
         for f in active:
             f.rate = rate[f]
+        if self.env.tracer.enabled:
+            self._record_utilization()
         self._schedule_wakeup()
+
+    def _record_utilization(self) -> None:
+        """Sample every constrained link's utilization gauge (on change)."""
+        metrics = self.env.tracer.metrics
+        links: dict[Link, None] = {}
+        for f in self._flows:
+            for link in f.path:
+                if link.capacity is not None:
+                    links[link] = None
+        # Links that drained since the last sample must drop back to 0.
+        for link in list(self._util_traced):
+            links.setdefault(link, None)
+        for link in links:
+            util = link.utilization()
+            if self._util_traced.get(link) != util:
+                self._util_traced[link] = util
+                metrics.gauge(f"link.util/{link.name}", util)
 
     def _complete(self, flow: Flow) -> None:
         self._detach(flow)
         flow.remaining = 0.0
         flow.rate = 0.0
         flow.finished_at = self.env.now
+        if flow._span is not None:
+            flow._span.end(outcome="done")
+            flow._span = None
         flow.done.succeed(flow)
 
     def _schedule_wakeup(self) -> None:
-        """Arrange to wake at the earliest flow-completion instant."""
-        if self._wakeup is not None:
-            # Invalidate the stale wakeup by detaching its callback (a
-            # Timeout is "triggered" from birth, so this must be
-            # unconditional; an already-dispatched one has no callbacks).
-            self._wakeup.callbacks.clear()
-        self._wakeup = None
+        """Arrange to wake at the earliest flow-completion instant.
+
+        Two mechanisms keep recompute() storms (fault flapping) from
+        growing the event heap without bound, where the old
+        clear-the-callbacks approach leaked one dead Timeout per call:
+
+        * a new Timeout is pushed only when the needed wake time is
+          *earlier* than the pending one — an early (spurious) wakeup
+          just recomputes and reschedules;
+        * a superseded wakeup is cancelled through
+          :meth:`Environment.cancel`, whose lazy-deletion-with-compaction
+          keeps dead entries a bounded fraction of the queue.  The
+          generation counter is belt-and-braces against a wakeup caught
+          mid-dispatch, where cancellation can no longer intercept it.
+        """
         soonest = math.inf
         for f in self._flows:
             if f.rate > _EPS:
@@ -313,12 +373,29 @@ class FlowNetwork:
             elif f.rate == math.inf:
                 soonest = 0.0
         if math.isinf(soonest):
+            # Nothing can complete; let any pending wakeup fire spuriously.
             return
+        due = self.env.now + max(soonest, 0.0)
+        if (
+            self._wakeup is not None
+            and self._wakeup._scheduled
+            and self._wakeup_time <= due * (1 + 1e-12) + 1e-9
+        ):
+            return
+        if self._wakeup is not None and self._wakeup._scheduled:
+            self.env.cancel(self._wakeup)
+        self._wakeup_gen += 1
+        gen = self._wakeup_gen
         wake = self.env.timeout(max(soonest, 0.0))
         self._wakeup = wake
-        wake.callbacks.append(self._on_wakeup)
+        self._wakeup_time = due
+        wake.callbacks.append(lambda _event, gen=gen: self._on_wakeup(gen))
 
-    def _on_wakeup(self, _event: Event) -> None:
+    def _on_wakeup(self, gen: int) -> None:
+        if gen != self._wakeup_gen:
+            return  # superseded by an earlier wakeup; nothing to do
+        self._wakeup = None
+        self._wakeup_time = math.inf
         self._advance()
         finished = [
             f

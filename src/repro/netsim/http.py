@@ -142,17 +142,28 @@ class HttpServer:
         )
 
     def _do_get(self, client: str, path: str, max_rate: Optional[float]):
-        if not self.running:
-            raise HttpError(503, f"server {self.host} not running")
-        if not self.network.reachable(self.host, client):
-            raise HttpError(504, f"no route from {client} to {self.host}")
-        body: Any = None
-        if path in self._cgi:
-            body, size = self._cgi[path](client, path)
-        elif path in self._documents:
-            size = self._documents[path]
-        else:
-            raise HttpError(404, f"{path} not found on {self.host}")
+        tracer = self.network.env.tracer
+        span = (
+            tracer.span("http", path, client=client, server=self.host)
+            if tracer.enabled
+            else None
+        )
+        try:
+            if not self.running:
+                raise HttpError(503, f"server {self.host} not running")
+            if not self.network.reachable(self.host, client):
+                raise HttpError(504, f"no route from {client} to {self.host}")
+            body: Any = None
+            if path in self._cgi:
+                body, size = self._cgi[path](client, path)
+            elif path in self._documents:
+                size = self._documents[path]
+            else:
+                raise HttpError(404, f"{path} not found on {self.host}")
+        except HttpError as err:
+            if span is not None:
+                span.end(outcome="error", status=err.status)
+            raise
         wire_path = self.network.path(self.host, client)
         flow = self.network.flows.transfer(
             (self.service_link,) + wire_path,
@@ -166,9 +177,20 @@ class HttpServer:
             # The requester died (e.g. node power-cycled mid-download):
             # tear the connection down so bandwidth is freed immediately.
             flow.cancel()
+            if span is not None:
+                span.end(outcome="aborted")
+            raise
+        except BaseException:
+            # Connection reset from the transfer side (cancelled flow).
+            if span is not None:
+                span.end(outcome="reset")
             raise
         self._requests_served += 1
         self._bytes_served += size
+        if span is not None:
+            span.end(outcome="ok", status=200, bytes=float(size))
+            tracer.metrics.inc(f"http.requests/{self.host}")
+            tracer.metrics.inc(f"http.bytes/{self.host}", size)
         return HttpResponse(200, path, size, body=body, server=self.host)
 
     @staticmethod

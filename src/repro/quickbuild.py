@@ -20,6 +20,7 @@ from .core.tools import InsertEthers, ShootReport, shoot_nodes
 from .installer import DEFAULT_CALIBRATION, InstallCalibration
 from .netsim import Environment, SimulationError
 from .rpm import Repository
+from .telemetry import Tracer
 
 __all__ = ["RocksCluster", "build_cluster"]
 
@@ -107,13 +108,18 @@ def build_cluster(
     stock: Optional[Repository] = None,
     updates: Optional[Repository] = None,
     seed: int = 0,
+    tracer: Optional[Tracer] = None,
 ) -> RocksCluster:
     """Stand up a frontend (installed, services running) plus racked nodes.
 
     The returned cluster's compute nodes are still powered off and
     anonymous — call :meth:`RocksCluster.integrate_all` to adopt them.
+    Passing a :class:`~repro.telemetry.Tracer` attaches it before any
+    service starts, so the trace covers frontend bring-up too.
     """
     env = Environment()
+    if tracer is not None:
+        tracer.attach(env)
     hardware = ClusterHardware(env, seed=seed)
     if config is None:
         config = FrontendConfig(calibration=calibration)

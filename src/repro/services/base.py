@@ -37,19 +37,31 @@ class Faultable:
     ``repair()`` brings it back.  Subclasses that mirror their state onto
     other resources (a daemon flag, open connections) override
     :meth:`_sync_runtime`, which runs after *every* lifecycle transition.
+
+    Lifecycle transitions emit ``service`` telemetry events when the
+    owning environment (an ``env`` attribute, where one exists) carries
+    an enabled tracer.
     """
 
     state: ServiceState
+
+    def _trace(self, action: str) -> None:
+        env = getattr(self, "env", None)
+        if env is not None and env.tracer.enabled:
+            name = getattr(self, "name", type(self).__name__)
+            env.tracer.event("service", name, action=action)
 
     def fail(self) -> None:
         """Inject a failure (the service stays dead until repaired)."""
         self.state = ServiceState.FAILED
         self._sync_runtime()
+        self._trace("fail")
 
     def repair(self) -> None:
         if self.state is ServiceState.FAILED:
             self.state = ServiceState.RUNNING
             self._sync_runtime()
+            self._trace("repair")
 
     @property
     def faulted(self) -> bool:
@@ -75,15 +87,18 @@ class Service(Faultable):
             return
         self.state = ServiceState.RUNNING
         self._sync_runtime()
+        self._trace("start")
 
     def stop(self) -> None:
         self.state = ServiceState.STOPPED
         self._sync_runtime()
+        self._trace("stop")
 
     def restart(self) -> None:
         self.stop()
         self.start()
         self.restarts += 1
+        self._trace("restart")
 
     @property
     def running(self) -> bool:

@@ -1,0 +1,125 @@
+"""The trace wire format and its validator.
+
+A trace is JSON Lines: one object per line, each carrying a ``type``
+field.  Line 1 is always the ``meta`` header; span/event records follow
+in sequence order; counters and gauges (sorted by name) close the file.
+The validator is hand-rolled — no external jsonschema dependency — and
+is what CI runs against every exported benchmark trace.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "validate_record",
+    "validate_trace_lines",
+    "validate_trace_text",
+]
+
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+_NUMBER = (int, float)
+
+#: type tag -> {field: allowed python types}; None in a tuple means nullable.
+_REQUIRED_FIELDS: dict[str, dict[str, tuple]] = {
+    "meta": {
+        "format": (str,),
+        "version": (int,),
+        "clock": (str,),
+    },
+    "span": {
+        "seq": (int,),
+        "kind": (str,),
+        "name": (str,),
+        "t0": _NUMBER,
+        "t1": _NUMBER + (type(None),),
+        "attrs": (dict,),
+    },
+    "event": {
+        "seq": (int,),
+        "kind": (str,),
+        "name": (str,),
+        "t": _NUMBER,
+        "attrs": (dict,),
+    },
+    "counter": {
+        "name": (str,),
+        "value": _NUMBER,
+    },
+    "gauge": {
+        "name": (str,),
+        "samples": (list,),
+    },
+}
+
+
+def validate_record(obj: Any) -> list[str]:
+    """Problems with one decoded record (empty list = valid)."""
+    if not isinstance(obj, dict):
+        return [f"record is {type(obj).__name__}, expected object"]
+    tag = obj.get("type")
+    if tag not in _REQUIRED_FIELDS:
+        return [f"unknown record type {tag!r}"]
+    problems = []
+    for field, types in _REQUIRED_FIELDS[tag].items():
+        if field not in obj:
+            problems.append(f"{tag}: missing field {field!r}")
+        elif not isinstance(obj[field], types):
+            problems.append(
+                f"{tag}: field {field!r} is {type(obj[field]).__name__}"
+            )
+    if tag == "span" and not problems:
+        if obj["t1"] is not None and obj["t1"] < obj["t0"]:
+            problems.append(f"span: t1 {obj['t1']} precedes t0 {obj['t0']}")
+    if tag == "gauge" and not problems:
+        for i, sample in enumerate(obj["samples"]):
+            if (
+                not isinstance(sample, list)
+                or len(sample) != 2
+                or not isinstance(sample[0], _NUMBER)
+                or not isinstance(sample[1], _NUMBER)
+            ):
+                problems.append(f"gauge {obj['name']!r}: sample {i} is not [t, value]")
+                break
+    if tag == "meta" and not problems:
+        if obj["format"] != TRACE_FORMAT:
+            problems.append(f"meta: format {obj['format']!r} != {TRACE_FORMAT!r}")
+        if obj["version"] > TRACE_VERSION:
+            problems.append(f"meta: version {obj['version']} is from the future")
+    return problems
+
+
+def validate_trace_lines(lines: Iterable[str]) -> list[str]:
+    """Validate a whole JSONL trace; returns all problems found."""
+    problems: list[str] = []
+    last_seq = -1
+    n = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        n += 1
+        try:
+            obj = json.loads(line)
+        except ValueError as err:
+            problems.append(f"line {lineno}: not JSON ({err})")
+            continue
+        if n == 1 and (not isinstance(obj, dict) or obj.get("type") != "meta"):
+            problems.append(f"line {lineno}: first record must be the meta header")
+        problems.extend(f"line {lineno}: {p}" for p in validate_record(obj))
+        if isinstance(obj, dict) and isinstance(obj.get("seq"), int):
+            if obj["seq"] <= last_seq:
+                problems.append(f"line {lineno}: seq {obj['seq']} out of order")
+            last_seq = obj["seq"]
+    if n == 0:
+        problems.append("trace is empty")
+    return problems
+
+
+def validate_trace_text(text: str) -> list[str]:
+    return validate_trace_lines(text.splitlines())

@@ -1,0 +1,120 @@
+"""Trace aggregation: the numbers behind a run's behaviour.
+
+``summarize`` reduces a trace to the questions an administrator asks of
+a Table I run: how long did each install phase take (p50/p95/max), which
+link saturated and when (peak utilization), how many retries fired, how
+many installs ran at once.  ``render_summary`` formats that as the text
+report the ``trace`` CLI subcommand prints.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .tracer import Span, Tracer
+
+__all__ = ["percentile", "summarize", "render_summary"]
+
+#: Gauge-name prefix the flow network uses for per-link utilization.
+LINK_UTIL_PREFIX = "link.util/"
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    if not 0 <= q <= 1:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    ordered = sorted(values)
+    rank = max(int(math.ceil(q * len(ordered))), 1)
+    return ordered[rank - 1]
+
+
+def _span_stats(durations: list[float]) -> dict:
+    return {
+        "count": len(durations),
+        "p50": percentile(durations, 0.50),
+        "p95": percentile(durations, 0.95),
+        "max": max(durations, default=0.0),
+        "total": sum(durations),
+    }
+
+
+def summarize(tracer: Tracer) -> dict:
+    """Aggregate a trace into per-kind span stats, phases, and peaks."""
+    by_kind: dict[str, list[float]] = {}
+    by_phase: dict[str, list[float]] = {}
+    open_spans = 0
+    for span in tracer.spans():
+        if span.t1 is None:
+            open_spans += 1
+            continue
+        by_kind.setdefault(span.kind, []).append(span.duration)
+        if span.kind == "install-phase":
+            by_phase.setdefault(span.name, []).append(span.duration)
+    metrics = tracer.metrics
+    peak_util = {
+        name[len(LINK_UTIL_PREFIX):]: metrics.peak(name)
+        for name in metrics.gauge_names()
+        if name.startswith(LINK_UTIL_PREFIX)
+    }
+    gauges = {
+        name: {
+            "peak": metrics.peak(name),
+            "mean": metrics.time_weighted_mean(name),
+            "samples": len(metrics.samples(name)),
+        }
+        for name in metrics.gauge_names()
+    }
+    return {
+        "end_time": tracer.now,
+        "n_records": tracer.n_records,
+        "open_spans": open_spans,
+        "spans": {kind: _span_stats(d) for kind, d in sorted(by_kind.items())},
+        "phases": {name: _span_stats(d) for name, d in sorted(by_phase.items())},
+        "peak_link_utilization": peak_util,
+        "counters": dict(sorted(metrics.counters.items())),
+        "gauges": gauges,
+    }
+
+
+def render_summary(summary: dict, top_links: Optional[int] = 8) -> str:
+    """Human-readable report of a :func:`summarize` result."""
+    lines = [
+        f"trace summary: {summary['n_records']} records, "
+        f"simulated end t={summary['end_time']:.1f}s"
+        + (f", {summary['open_spans']} spans left open"
+           if summary["open_spans"] else "")
+    ]
+    if summary["phases"]:
+        lines.append("install phases (seconds):")
+        lines.append(f"  {'phase':<12} {'count':>5} {'p50':>8} {'p95':>8} {'max':>8}")
+        for name, s in summary["phases"].items():
+            lines.append(
+                f"  {name:<12} {s['count']:>5} {s['p50']:>8.1f} "
+                f"{s['p95']:>8.1f} {s['max']:>8.1f}"
+            )
+    other = {k: s for k, s in summary["spans"].items() if k != "install-phase"}
+    if other:
+        lines.append("spans (seconds):")
+        lines.append(f"  {'kind':<14} {'count':>5} {'p50':>8} {'p95':>8} {'max':>8}")
+        for kind, s in other.items():
+            lines.append(
+                f"  {kind:<14} {s['count']:>5} {s['p50']:>8.1f} "
+                f"{s['p95']:>8.1f} {s['max']:>8.1f}"
+            )
+    peaks = summary["peak_link_utilization"]
+    if peaks:
+        lines.append("peak link utilization:")
+        busiest = sorted(peaks.items(), key=lambda kv: (-kv[1], kv[0]))
+        if top_links is not None:
+            busiest = busiest[:top_links]
+        for name, peak in busiest:
+            lines.append(f"  {name:<20} {100 * peak:6.1f}%")
+    if summary["counters"]:
+        lines.append("counters:")
+        for name, value in summary["counters"].items():
+            shown = int(value) if value == int(value) else value
+            lines.append(f"  {name:<28} {shown}")
+    return "\n".join(lines)

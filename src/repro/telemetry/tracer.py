@@ -1,0 +1,204 @@
+"""Structured tracing for the simulation: typed spans and events.
+
+Every record is stamped with *simulated* time (``env.now``) and a
+monotonically increasing sequence number — never a wall clock — so two
+runs of the same seeded scenario produce byte-identical traces.  The
+default tracer on every :class:`~repro.netsim.Environment` is the
+module-level :data:`NULL_TRACER`, whose methods are no-ops: code is
+instrumented unconditionally but pays nothing until a real
+:class:`Tracer` is attached (``Tracer().attach(env)``).
+
+Record taxonomy (the ``kind`` field; see :mod:`repro.telemetry.schema`):
+
+* ``install`` / ``install-phase`` — one span per node installation and
+  per anaconda phase (dhcp, kickstart, partition, packages, post, myrinet);
+* ``http`` — one span per GET, with status and payload size;
+* ``flow`` — one span per fluid-flow transfer (done/cancelled);
+* ``service`` — lifecycle events (start/stop/restart/fail/repair);
+* ``fault`` — every action a :class:`~repro.faults.FaultInjector` takes;
+* ``campaign`` / ``campaign-node`` — reinstall-campaign supervision,
+  with per-attempt and escalation events;
+* ``download-retry`` / ``download-failed`` — installer fetch retries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator, Optional
+
+from .metrics import Metrics, NullMetrics
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "NULL_SPAN"]
+
+
+class Span:
+    """An interval of simulated time: opened now, closed by :meth:`end`.
+
+    ``attrs`` carries arbitrary JSON-serialisable context (host, path,
+    outcome).  A span left open at export time serialises with
+    ``t1: null`` — useful for spotting work the simulation abandoned.
+    """
+
+    __slots__ = ("seq", "kind", "name", "t0", "t1", "attrs", "_tracer")
+
+    def __init__(self, tracer: "Tracer", seq: int, kind: str, name: str,
+                 t0: float, attrs: dict):
+        self._tracer = tracer
+        self.seq = seq
+        self.kind = kind
+        self.name = name
+        self.t0 = t0
+        self.t1: Optional[float] = None
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.t1 is None else self.t1 - self.t0
+
+    def end(self, **attrs: Any) -> None:
+        """Close the span at the current simulated time."""
+        if self.t1 is None:
+            self.t1 = self._tracer.now
+            if attrs:
+                self.attrs.update(attrs)
+
+    def to_record(self) -> dict:
+        return {
+            "type": "span",
+            "seq": self.seq,
+            "kind": self.kind,
+            "name": self.name,
+            "t0": self.t0,
+            "t1": self.t1,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        end = "open" if self.t1 is None else f"{self.t1:.2f}"
+        return f"Span({self.kind}/{self.name}, {self.t0:.2f}..{end})"
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def end(self, **attrs: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans, events, and metrics from an attached environment."""
+
+    enabled = True
+
+    def __init__(self):
+        self.env = None
+        self.metrics = Metrics()
+        self._seq = itertools.count()
+        self._records: list = []  # Span objects and event dicts, seq order
+
+    # -- wiring ------------------------------------------------------------
+    def attach(self, env) -> "Tracer":
+        """Make this the environment's tracer (``env.tracer = self``)."""
+        self.env = env
+        self.metrics.attach(env)
+        env.tracer = self
+        return self
+
+    @property
+    def now(self) -> float:
+        return 0.0 if self.env is None else self.env.now
+
+    # -- recording ---------------------------------------------------------
+    def event(self, kind: str, name: str, **attrs: Any) -> None:
+        """Record an instantaneous occurrence at the current time."""
+        self._records.append({
+            "type": "event",
+            "seq": next(self._seq),
+            "kind": kind,
+            "name": name,
+            "t": self.now,
+            "attrs": attrs,
+        })
+
+    def span(self, kind: str, name: str, **attrs: Any) -> Span:
+        """Open a span at the current time; close it with ``span.end()``."""
+        span = Span(self, next(self._seq), kind, name, self.now, attrs)
+        self._records.append(span)
+        return span
+
+    def record_span(self, kind: str, name: str, t0: float, **attrs: Any) -> Span:
+        """Record a span that began at ``t0`` and ends now (retrospective)."""
+        span = Span(self, next(self._seq), kind, name, t0, attrs)
+        span.t1 = self.now
+        self._records.append(span)
+        return span
+
+    # -- reading -----------------------------------------------------------
+    def iter_records(self) -> Iterator[dict]:
+        """All span/event records as plain dicts, in creation order."""
+        for rec in self._records:
+            yield rec.to_record() if isinstance(rec, Span) else rec
+
+    @property
+    def n_records(self) -> int:
+        return len(self._records)
+
+    def spans(self, kind: Optional[str] = None) -> list[Span]:
+        return [r for r in self._records
+                if isinstance(r, Span) and (kind is None or r.kind == kind)]
+
+    def events(self, kind: Optional[str] = None) -> list[dict]:
+        return [r for r in self._records
+                if isinstance(r, dict) and (kind is None or r["kind"] == kind)]
+
+
+class NullTracer:
+    """The zero-overhead default: every method is a no-op.
+
+    ``enabled`` is False so hot paths (flow reallocation, per-request
+    accounting) can skip even the cost of building attribute dicts.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        self.metrics = NullMetrics()
+
+    def attach(self, env) -> "NullTracer":
+        env.tracer = self
+        return self
+
+    @property
+    def now(self) -> float:
+        return 0.0
+
+    def event(self, kind: str, name: str, **attrs: Any) -> None:
+        pass
+
+    def span(self, kind: str, name: str, **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def record_span(self, kind: str, name: str, t0: float, **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def iter_records(self) -> Iterator[dict]:
+        return iter(())
+
+    @property
+    def n_records(self) -> int:
+        return 0
+
+    def spans(self, kind: Optional[str] = None) -> list:
+        return []
+
+    def events(self, kind: Optional[str] = None) -> list:
+        return []
+
+
+#: Shared no-op tracer; the default on every Environment.
+NULL_TRACER = NullTracer()

@@ -87,3 +87,29 @@ def test_lint_command_ia64(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["warp-drive"])
+
+
+def test_trace_command_summary(capsys):
+    code, out = run_cli(capsys, "trace", "--nodes", "2")
+    assert code == 0
+    assert "trace summary:" in out
+    assert "install phases" in out
+    assert "peak link utilization" in out
+
+
+def test_trace_command_export_and_validate(capsys, tmp_path):
+    path = tmp_path / "run.jsonl"
+    code, out = run_cli(capsys, "trace", "--nodes", "2", "--out", str(path))
+    assert code == 0
+    assert "wrote" in out and path.exists()
+    code, out = run_cli(capsys, "trace", "--validate", str(path))
+    assert code == 0
+    assert "valid" in out
+
+
+def test_trace_validate_rejects_garbage(capsys, tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"type": "mystery"}\n', encoding="utf-8")
+    code, out = run_cli(capsys, "trace", "--validate", str(path))
+    assert code == 1
+    assert "invalid" in out

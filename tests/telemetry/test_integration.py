@@ -1,0 +1,88 @@
+"""End-to-end telemetry: traced cluster runs and determinism."""
+
+import pytest
+
+from repro import build_cluster
+from repro.telemetry import (
+    Tracer,
+    summarize,
+    to_jsonl,
+    validate_trace_text,
+)
+
+
+def traced_reinstall(n_compute=2):
+    tracer = Tracer()
+    sim = build_cluster(n_compute=n_compute, tracer=tracer)
+    sim.integrate_all()
+    sim.reinstall_all()
+    return tracer, sim
+
+
+def test_traced_run_has_install_phase_spans():
+    tracer, sim = traced_reinstall(n_compute=2)
+    installs = [s for s in tracer.spans("install") if s.t1 is not None]
+    # integrate_all installs each node once, reinstall_all a second time
+    assert len(installs) >= 4
+    assert all(s.attrs.get("outcome") == "ok" for s in installs)
+    phases = {s.name for s in tracer.spans("install-phase")}
+    assert {"kickstart", "partition", "packages", "post"} <= phases
+
+
+def test_traced_run_has_http_spans_and_counters():
+    tracer, sim = traced_reinstall(n_compute=2)
+    https = tracer.spans("http")
+    assert https
+    ok = [s for s in https if s.attrs.get("outcome") == "ok"]
+    assert ok and all(s.attrs["status"] == 200 for s in ok)
+    counters = tracer.metrics.counters
+    requests = sum(v for k, v in counters.items()
+                   if k.startswith("http.requests/"))
+    assert requests == len(ok)
+    served = sum(v for k, v in counters.items() if k.startswith("http.bytes/"))
+    assert served == pytest.approx(
+        sum(s.attrs["bytes"] for s in ok))
+
+
+def test_traced_run_link_utilization_bounded():
+    tracer, _ = traced_reinstall(n_compute=2)
+    util_gauges = [n for n in tracer.metrics.gauge_names()
+                   if n.startswith("link.util/")]
+    assert util_gauges
+    for name in util_gauges:
+        samples = tracer.metrics.samples(name)
+        assert all(0.0 <= v <= 1.0 for _, v in samples)
+    busiest = max(tracer.metrics.peak(n) for n in util_gauges)
+    assert 0.0 < busiest <= 1.0
+
+
+def test_concurrent_install_gauge_returns_to_zero():
+    tracer, _ = traced_reinstall(n_compute=2)
+    samples = tracer.metrics.samples("installs.concurrent")
+    assert samples
+    assert max(v for _, v in samples) >= 2  # reinstall_all overlaps nodes
+    assert samples[-1][1] == 0  # every install span was closed out
+
+
+def test_two_seeded_runs_are_byte_identical():
+    first, _ = traced_reinstall(n_compute=2)
+    second, _ = traced_reinstall(n_compute=2)
+    text1, text2 = to_jsonl(first), to_jsonl(second)
+    assert validate_trace_text(text1) == []
+    assert text1 == text2
+
+
+def test_untraced_run_records_nothing():
+    sim = build_cluster(n_compute=1)
+    sim.integrate_all()
+    assert sim.env.tracer.n_records == 0
+    assert not sim.env.tracer.enabled
+
+
+def test_summary_of_traced_run():
+    tracer, _ = traced_reinstall(n_compute=2)
+    summary = summarize(tracer)
+    assert summary["open_spans"] == 0
+    assert summary["phases"]["packages"]["count"] >= 4
+    assert summary["phases"]["packages"]["p50"] > 0
+    assert 0.0 < max(summary["peak_link_utilization"].values()) <= 1.0
