@@ -150,11 +150,31 @@ def _cmd_reports(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .faults import chaos_reinstall
 
+    plan = args.plan
+    resilience = args.resilience
+    if args.frontend_crash:
+        # The resilience-smoke scenario: crash the frontend mid-wave and
+        # require the hardened stack to recover it.
+        plan = "frontend-crash"
+        resilience = True
     result = chaos_reinstall(
-        n_nodes=args.nodes, plan=args.plan, seed=args.seed
+        n_nodes=args.nodes, plan=plan, seed=args.seed, resilience=resilience
     )
     print(result.render())
     ok = result.completion_rate >= args.min_completion
+    if args.frontend_crash:
+        frontend = result.resilience.frontend
+        recovered = (
+            result.resilience.verify_recovery()
+            and frontend.recovered_snapshot is not None
+            and bool(result.injector.snapshots)
+            and frontend.recovered_snapshot == result.injector.snapshots[0]
+        )
+        print(
+            "\nrecovered database state: "
+            + ("byte-identical" if recovered else "MISMATCH")
+        )
+        ok = ok and recovered
     print(
         f"\ncompletion {100 * result.completion_rate:.0f}% "
         f"(threshold {100 * args.min_completion:.0f}%): "
@@ -261,6 +281,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="re-seed the plan (default: the plan's own seed)")
     p.add_argument("--min-completion", type=float, default=0.9,
                    help="exit nonzero below this installed fraction")
+    p.add_argument("--resilience", action="store_true",
+                   help="harden the frontend (supervisor+journal+breaker)")
+    p.add_argument("--frontend-crash", action="store_true",
+                   help="run the frontend-crash recovery scenario: implies "
+                        "--plan frontend-crash --resilience and verifies the "
+                        "recovered database is byte-identical")
     p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser(

@@ -1,12 +1,15 @@
 """The Rocks cluster configuration database and its report generators."""
 
 from .clusterdb import ClusterDatabase, DatabaseError, NodeRow
+from .journal import DatabaseJournal, JournalError
 from .reports import dhcp_bindings, report_dhcpd, report_hosts, report_pbs_nodes
 from .schema import DEFAULT_APPLIANCES, DEFAULT_MEMBERSHIPS, SCHEMA
 
 __all__ = [
     "ClusterDatabase",
     "DatabaseError",
+    "DatabaseJournal",
+    "JournalError",
     "NodeRow",
     "dhcp_bindings",
     "report_dhcpd",

@@ -54,6 +54,23 @@ class ClusterDatabase:
         self._conn.row_factory = sqlite3.Row
         self._conn.executescript(SCHEMA)
         self._seed_catalogs()
+        #: Optional write-ahead journal; every mutator logs through it.
+        self.journal = None
+
+    def attach_journal(self, journal, checkpoint: bool = True) -> None:
+        """Route every subsequent mutation through ``journal``.
+
+        ``checkpoint`` (the default) first snapshots the current state
+        into the journal, so rows that predate journaling — the frontend's
+        own node row, seeded catalogs — survive a replay too.
+        """
+        if checkpoint:
+            journal.checkpoint(self)
+        self.journal = journal
+
+    def _journal(self, op: str, **args: Any) -> None:
+        if self.journal is not None:
+            self.journal.append(op, **args)
 
     def _seed_catalogs(self) -> None:
         cur = self._conn.execute("SELECT COUNT(*) FROM appliances")
@@ -76,11 +93,15 @@ class ClusterDatabase:
         return [tuple(r) for r in cur.fetchall()]
 
     def execute(self, sql: str, params: Sequence[Any] = ()) -> None:
+        self._journal("sql", sql=sql, params=list(params))
         self._conn.execute(sql, params)
         self._conn.commit()
 
     # -- app_globals ----------------------------------------------------------------
     def set_global(self, service: str, component: str, value: str) -> None:
+        self._journal(
+            "set-global", service=service, component=component, value=value
+        )
         self._conn.execute(
             "INSERT INTO app_globals (service, component, value) VALUES (?,?,?) "
             "ON CONFLICT (service, component) DO UPDATE SET value = excluded.value",
@@ -139,6 +160,21 @@ class ClusterDatabase:
         mid = self.membership_id(membership)
         if ip is None:
             ip = self.next_free_ip()
+        # Journal with the *resolved* IP: replay must not re-run the
+        # allocator against whatever state it happens to see.
+        self._journal(
+            "add-node",
+            name=name,
+            membership=membership,
+            mac=mac,
+            ip=ip,
+            rack=rack,
+            rank=rank,
+            cpus=cpus,
+            arch=arch,
+            os_dist=os_dist,
+            comment=comment,
+        )
         try:
             self._conn.execute(
                 "INSERT INTO nodes (mac, name, membership, cpus, rack, rank, "
@@ -151,6 +187,7 @@ class ClusterDatabase:
         return self.node_by_name(name)
 
     def remove_node(self, name: str) -> None:
+        self._journal("remove-node", name=name)
         self._conn.execute("DELETE FROM nodes WHERE name=?", (name,))
         self._conn.commit()
 
@@ -205,6 +242,7 @@ class ClusterDatabase:
     def set_os_dist(self, name: str, os_dist: str) -> None:
         """Point a node at a different distribution (§6.2.3 heterogeneity)."""
         self.node_by_name(name)  # raises on unknown
+        self._journal("set-os-dist", name=name, os_dist=os_dist)
         self._conn.execute(
             "UPDATE nodes SET os_dist=? WHERE name=?", (os_dist, name)
         )
@@ -228,6 +266,42 @@ class ClusterDatabase:
                 return ip
             candidate -= 1
         raise DatabaseError("address space exhausted")
+
+    # -- crash / recovery --------------------------------------------------
+    def snapshot(self) -> str:
+        """Canonical SQL dump of the full database state.
+
+        ``iterdump`` emits schema plus rows in a stable order, so two
+        databases holding identical state produce identical text — the
+        byte-identity check the crash-recovery test relies on.
+        """
+        return "\n".join(self._conn.iterdump())
+
+    def lose_state(self) -> None:
+        """Simulate a crash that destroys the database contents.
+
+        The connection object survives (other components hold references
+        to this ``ClusterDatabase``), but every row is gone; only the
+        seeded appliance/membership catalogs of a fresh install remain.
+        """
+        for (name,) in self._conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' "
+            "AND name NOT LIKE 'sqlite_%'"
+        ).fetchall():
+            self._conn.execute(f'DELETE FROM "{name}"')
+        self._conn.commit()
+        self._seed_catalogs()
+
+    def restore_from_dump(self, dump: str) -> None:
+        """Replace the entire database with a prior :meth:`snapshot`."""
+        for (name,) in self._conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' "
+            "AND name NOT LIKE 'sqlite_%'"
+        ).fetchall():
+            self._conn.execute(f'DROP TABLE IF EXISTS "{name}"')
+        self._conn.commit()
+        self._conn.executescript(dump)
+        self._conn.commit()
 
     @staticmethod
     def _row(r: sqlite3.Row) -> NodeRow:

@@ -1,0 +1,133 @@
+"""Write-ahead journal for the cluster configuration database.
+
+The paper's §3 makes the MySQL database the single source of truth for
+the whole cluster — lose it and insert-ethers registrations, appliance
+assignments, and every generated config file are gone.  The CERN and BNL
+large-cluster reports both call out configuration-state loss as a
+dominant failure mode, so the resilience layer journals every mutation
+as a typed record *before* it executes:
+
+* ``checkpoint``  — a full canonical SQL dump (taken when the journal is
+  attached, so state that predates journaling is recoverable too);
+* ``add-node`` / ``remove-node`` / ``set-global`` / ``set-os-dist`` —
+  the typed mutator calls, with every derived value (e.g. the
+  auto-assigned IP) already resolved;
+* ``sql``         — raw ``execute()`` statements.
+
+After a frontend crash wipes the live database, :meth:`replay_into`
+rebuilds it: restore the checkpoint dump, then reapply each mutation in
+order.  Replay onto the same starting state is deterministic, so the
+recovered database is byte-identical to the pre-crash one (verified by
+comparing canonical ``snapshot()`` dumps in the end-to-end test).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Any, Optional
+
+from .clusterdb import ClusterDatabase, DatabaseError
+
+__all__ = ["DatabaseJournal", "JournalError"]
+
+
+class JournalError(Exception):
+    """Malformed or unreplayable journal content."""
+
+
+class DatabaseJournal:
+    """An append-only, typed mutation log for one :class:`ClusterDatabase`.
+
+    Records live in memory (the simulation's stable storage); passing
+    ``path`` additionally appends each record as a JSONL line to a real
+    file, which is what a physical frontend would fsync.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self._records: list[dict[str, Any]] = []
+        self._seq = 0
+        #: True while replay_into() is reapplying records — suppresses
+        #: re-journaling of the mutations the replay itself performs.
+        self.replaying = False
+        self.replays = 0
+
+    # -- recording ---------------------------------------------------------
+    def append(self, op: str, **args: Any) -> None:
+        """Record one mutation; a no-op during replay."""
+        if self.replaying:
+            return
+        self._seq += 1
+        record = {"seq": self._seq, "op": op, "args": args}
+        self._records.append(record)
+        if self.path is not None:
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def checkpoint(self, db: ClusterDatabase) -> None:
+        """Truncate the log and start over from a full dump of ``db``.
+
+        Everything before the checkpoint is subsumed by the dump, so the
+        journal stays bounded across long campaigns.
+        """
+        self._records.clear()
+        if self.path is not None:
+            open(self.path, "w", encoding="utf-8").close()
+        self.append("checkpoint", dump=db.snapshot())
+
+    # -- inspection --------------------------------------------------------
+    def records(self) -> list[dict[str, Any]]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def to_jsonl(self) -> str:
+        return "\n".join(
+            json.dumps(record, sort_keys=True) for record in self._records
+        )
+
+    # -- recovery ----------------------------------------------------------
+    def replay_into(self, db: ClusterDatabase) -> int:
+        """Reapply every record to ``db``; returns the count applied.
+
+        The target's own journal hook is suspended for the duration so
+        recovery does not re-journal itself.  A failed ``add-node`` or raw
+        ``sql`` record is tolerated: the original call failed identically
+        (e.g. a duplicate-MAC insert), leaving the database unchanged, so
+        skipping it reproduces the same end state.
+        """
+        saved, db.journal = db.journal, None
+        self.replaying = True
+        applied = 0
+        try:
+            for record in self._records:
+                op = record["op"]
+                args = record["args"]
+                if op == "checkpoint":
+                    db.restore_from_dump(args["dump"])
+                elif op == "add-node":
+                    try:
+                        db.add_node(**args)
+                    except DatabaseError:
+                        pass
+                elif op == "remove-node":
+                    db.remove_node(**args)
+                elif op == "set-global":
+                    db.set_global(**args)
+                elif op == "set-os-dist":
+                    db.set_os_dist(**args)
+                elif op == "sql":
+                    try:
+                        db.execute(args["sql"], tuple(args["params"]))
+                    except sqlite3.Error:
+                        pass
+                else:
+                    raise JournalError(f"unknown journal op {op!r}")
+                applied += 1
+        finally:
+            self.replaying = False
+            db.journal = saved
+        self.replays += 1
+        return applied

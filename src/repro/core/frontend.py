@@ -40,6 +40,7 @@ from ..services import (
 )
 from .database import (
     ClusterDatabase,
+    DatabaseJournal,
     dhcp_bindings,
     report_dhcpd,
     report_hosts,
@@ -166,6 +167,11 @@ class RocksFrontend:
 
         self.hosts_file = ""
         self.config_regenerations = 0
+        #: Resilience state: a DatabaseJournal once enable_journal() ran,
+        #: and a flag marking the DB as crashed-and-unrecovered.
+        self.journal: Optional[DatabaseJournal] = None
+        self.db_lost = False
+        self.recovered_snapshot: Optional[str] = None
         self._publish(dist)
         self.regenerate_configs()
 
@@ -234,6 +240,61 @@ class RocksFrontend:
         for svc in (self.dhcp, self.install_server, self.nis, self.nfs):
             svc.start()
         self.maui.start()
+
+    # -- crash / recovery --------------------------------------------------
+    def enable_journal(self, path: Optional[str] = None) -> DatabaseJournal:
+        """Attach a write-ahead journal (with a checkpoint of current state)."""
+        if self.journal is None:
+            self.journal = DatabaseJournal(path)
+            self.db.attach_journal(self.journal)
+        return self.journal
+
+    def crash(self, lose_database: bool = True) -> None:
+        """The frontend box dies: services fault and the live DB is wiped.
+
+        The journal (stable storage) survives; :meth:`recover_database`
+        replays it.  Service restarts are the supervisor's job.
+        """
+        for svc in (self.dhcp, self.install_server, self.nfs):
+            if not svc.faulted:
+                svc.fail()
+        if lose_database:
+            self.db.lose_state()
+            self.db_lost = True
+        tracer = self.env.tracer
+        if tracer.enabled:
+            tracer.event(
+                "frontend-crash",
+                self.config.name,
+                database_lost=lose_database,
+            )
+
+    def recover_database(self) -> int:
+        """Replay the journal into the wiped DB; returns records applied.
+
+        Stores the post-replay canonical dump in ``recovered_snapshot``
+        (captured *before* regenerate_configs touches anything) so tests
+        can assert byte-identity against the pre-crash state.
+        """
+        if not self.db_lost:
+            return 0
+        if self.journal is None:
+            raise RuntimeError(
+                "database lost and no journal attached; state is unrecoverable"
+            )
+        tracer = self.env.tracer
+        span = (
+            tracer.span("journal-replay", self.config.name)
+            if tracer.enabled
+            else None
+        )
+        applied = self.journal.replay_into(self.db)
+        self.recovered_snapshot = self.db.snapshot()
+        self.db_lost = False
+        if span is not None:
+            span.end(outcome="ok", records=applied)
+        self.regenerate_configs()
+        return applied
 
     # -- node adoption ----------------------------------------------------------------------
     def adopt(self, machine: Machine) -> None:

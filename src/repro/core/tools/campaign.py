@@ -177,6 +177,9 @@ class ReinstallCampaign:
         methods: list[str] = []
         shoots: list[ShootReport] = []
         error: Optional[str] = None
+        # Campaign state lives in app_globals so it survives a frontend
+        # crash via the database journal, like any other §6.4 state.
+        self.frontend.db.set_global("campaign", machine.hostid, "installing")
         for attempt in range(1, policy.max_attempts + 1):
             force_pdu = attempt > policy.ethernet_attempts
             if tracer.enabled and force_pdu:
@@ -204,6 +207,9 @@ class ReinstallCampaign:
                     outcome = NodeOutcome.ESCALATED
                 else:
                     outcome = NodeOutcome.RETRIED
+                self.frontend.db.set_global(
+                    "campaign", machine.hostid, outcome.value
+                )
                 if span is not None:
                     span.end(outcome=outcome.value, attempts=attempt)
                 return NodeCampaignReport(
@@ -220,6 +226,9 @@ class ReinstallCampaign:
         # Out of attempts: power the node down so it stops thrashing the
         # install server, and report it dead for the crash cart.
         machine.power_off()
+        self.frontend.db.set_global(
+            "campaign", machine.hostid, NodeOutcome.ABANDONED.value
+        )
         if span is not None:
             span.end(
                 outcome=NodeOutcome.ABANDONED.value,

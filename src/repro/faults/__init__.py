@@ -18,6 +18,7 @@ from .plan import (
     DhcpBlackout,
     Fault,
     FaultPlan,
+    FrontendCrash,
     LinkDegrade,
     LinkFlap,
     NfsOutage,
@@ -25,6 +26,7 @@ from .plan import (
     NodeHang,
     PackageCorruption,
     ServerCrash,
+    ServiceFlap,
     ServiceOutage,
     named_plan,
 )
@@ -38,6 +40,7 @@ __all__ = [
     "DhcpBlackout",
     "Fault",
     "FaultPlan",
+    "FrontendCrash",
     "LinkDegrade",
     "LinkFlap",
     "NfsOutage",
@@ -45,6 +48,7 @@ __all__ = [
     "NodeHang",
     "PackageCorruption",
     "ServerCrash",
+    "ServiceFlap",
     "ServiceOutage",
     "named_plan",
 ]

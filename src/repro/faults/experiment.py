@@ -30,6 +30,8 @@ class ChaosResult:
     n_nodes: int
     report: CampaignReport
     injector: FaultInjector
+    #: FrontendResilience handle when the run was hardened, else None.
+    resilience: Optional[object] = None
 
     @property
     def minutes(self) -> float:
@@ -40,7 +42,10 @@ class ChaosResult:
         return self.report.completion_rate
 
     def render(self) -> str:
-        return "\n".join([self.injector.render_log(), "", self.report.render()])
+        parts = [self.injector.render_log(), "", self.report.render()]
+        if self.resilience is not None:
+            parts += ["", self.resilience.render()]
+        return "\n".join(parts)
 
 
 def chaos_reinstall(
@@ -48,6 +53,7 @@ def chaos_reinstall(
     plan: "FaultPlan | str" = "default",
     seed: Optional[int] = None,
     policy: Optional[EscalationPolicy] = None,
+    resilience=None,
     **build_kwargs,
 ) -> ChaosResult:
     """Reinstall ``n_nodes`` concurrently while the plan's faults fire.
@@ -55,6 +61,10 @@ def chaos_reinstall(
     Fault ``at`` offsets are relative to campaign start (the cluster is
     integrated cleanly first).  ``plan`` may be a :class:`FaultPlan` or
     a name from :data:`repro.faults.plan.PLANS`; ``seed`` re-seeds it.
+    ``resilience`` hardens the frontend before the faults arm: pass
+    ``True`` for the default :class:`~repro.resilience.ResilienceOptions`
+    or an options instance for custom knobs (required for plans that
+    inject a ``FrontendCrash`` — an unhardened frontend stays down).
     """
     if isinstance(plan, str):
         plan = named_plan(plan, seed)
@@ -62,9 +72,23 @@ def chaos_reinstall(
         plan = plan.with_seed(seed)
     sim = build_cluster(n_compute=n_nodes, **build_kwargs)
     sim.integrate_all()
+    hardening = None
+    if resilience:
+        from ..resilience import ResilienceOptions, harden_frontend
+
+        options = (
+            resilience
+            if isinstance(resilience, ResilienceOptions)
+            else ResilienceOptions()
+        )
+        hardening = harden_frontend(sim.frontend, options)
     injector = FaultInjector(plan).arm(sim.frontend, sim.nodes)
     campaign = ReinstallCampaign(sim.frontend, policy or EscalationPolicy())
     report = sim.env.run(until=campaign.run(sim.nodes))
     return ChaosResult(
-        plan=plan, n_nodes=n_nodes, report=report, injector=injector
+        plan=plan,
+        n_nodes=n_nodes,
+        report=report,
+        injector=injector,
+        resilience=hardening,
     )

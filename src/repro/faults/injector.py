@@ -27,11 +27,13 @@ from .plan import (
     FRONTEND,
     Fault,
     FaultPlan,
+    FrontendCrash,
     LinkDegrade,
     LinkFlap,
     NodeCrash,
     NodeHang,
     PackageCorruption,
+    ServiceFlap,
     ServiceOutage,
 )
 
@@ -58,6 +60,9 @@ class FaultInjector:
     def __init__(self, plan: FaultPlan):
         self.plan = plan
         self.log: list[InjectionRecord] = []
+        #: DB snapshots captured immediately before each FrontendCrash —
+        #: the byte-identity reference for crash-recovery verification.
+        self.snapshots: list[str] = []
         self._armed = False
 
     # -- the public surface ------------------------------------------------
@@ -115,7 +120,11 @@ class FaultInjector:
         rng: random.Random,
     ) -> Generator:
         yield env.timeout(fault.at)
-        if isinstance(fault, ServiceOutage):
+        if isinstance(fault, FrontendCrash):
+            self._deliver_frontend_crash(env, frontend, fault)
+        elif isinstance(fault, ServiceFlap):
+            yield from self._deliver_service_flap(env, frontend, fault)
+        elif isinstance(fault, ServiceOutage):
             yield from self._deliver_outage(env, frontend, fault)
         elif isinstance(fault, LinkDegrade):
             yield from self._deliver_degrade(env, frontend, targets, fault)
@@ -145,6 +154,37 @@ class FaultInjector:
             yield env.timeout(fault.duration)
             service.repair()
             self._record(env, "service-repair", fault.service)
+
+    def _deliver_frontend_crash(self, env, frontend, fault: FrontendCrash) -> None:
+        # Snapshot first: this is the state recovery must reproduce.
+        self.snapshots.append(frontend.db.snapshot())
+        frontend.crash(lose_database=fault.lose_database)
+        self._record(
+            env,
+            "frontend-crash",
+            frontend.config.name,
+            "database lost" if fault.lose_database else "services only",
+        )
+
+    def _deliver_service_flap(self, env, frontend, fault: ServiceFlap) -> Generator:
+        services = {
+            "install": frontend.install_server,
+            "dhcp": frontend.dhcp,
+            "nfs": frontend.nfs,
+        }
+        try:
+            service = services[fault.service]
+        except KeyError:
+            raise ValueError(
+                f"unknown service {fault.service!r}; have {sorted(services)}"
+            ) from None
+        for cycle in range(1, fault.times + 1):
+            if not service.faulted:
+                service.fail()
+            self._record(env, "service-flap", fault.service,
+                         f"kill {cycle}/{fault.times}")
+            if cycle < fault.times:
+                yield env.timeout(fault.period)
 
     def _resolve_machine(
         self, frontend: RocksFrontend, targets: list[Machine], selector: str

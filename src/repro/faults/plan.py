@@ -27,6 +27,8 @@ __all__ = [
     "ServerCrash",
     "DhcpBlackout",
     "NfsOutage",
+    "FrontendCrash",
+    "ServiceFlap",
     "LinkDegrade",
     "LinkFlap",
     "NodeHang",
@@ -79,6 +81,31 @@ class NfsOutage(ServiceOutage):
     """The §4 common-mode failure: every mounted client stalls at once."""
 
     service: str = "nfs"
+
+
+@dataclass(frozen=True)
+class FrontendCrash(Fault):
+    """The frontend box dies: dhcpd/httpd/nfs fault together and (by
+    default) the live cluster database is wiped.
+
+    There is deliberately no auto-repair half: bringing the services
+    back is the :class:`~repro.resilience.ServiceSupervisor`'s job, and
+    the database only comes back if a journal was attached — this fault
+    is what the crash-recovery acceptance test injects.
+    """
+
+    lose_database: bool = True
+
+
+@dataclass(frozen=True)
+class ServiceFlap(Fault):
+    """A frontend service dies repeatedly: ``times`` failures, ``period``
+    seconds apart — the pathological case a supervisor's backoff and
+    restart budget exist for."""
+
+    service: str = "install"  # "install" | "dhcp" | "nfs"
+    times: int = 3
+    period: float = 60.0
 
 
 @dataclass(frozen=True)
@@ -175,6 +202,18 @@ PLANS: dict[str, FaultPlan] = {
     "dhcp-blackout": FaultPlan(
         "dhcp-blackout",
         (DhcpBlackout(at=30.0, duration=240.0),),
+    ),
+    "frontend-crash": FaultPlan(
+        "frontend-crash",
+        (FrontendCrash(at=240.0),),
+    ),
+    "frontend-storm": FaultPlan(
+        "frontend-storm",
+        (
+            FrontendCrash(at=240.0),
+            LinkFlap(at=420.0, flaps=3, down_seconds=5.0, up_seconds=20.0),
+            NodeHang(at=300.0, count=1),
+        ),
     ),
     "install-storm": FaultPlan(
         "install-storm",

@@ -94,6 +94,7 @@ def fetch_with_retry(
         fetch = make_fetch()
         deadline = env.timeout(cal.download_timeout_seconds)
         failure = None
+        retry_hint = None  # Retry-After from an admission-control 503
         try:
             yield AnyOf(env, (fetch, deadline))
         except Interrupt:
@@ -103,6 +104,7 @@ def fetch_with_retry(
             raise
         except RETRIABLE_ERRORS as err:
             failure = str(err)
+            retry_hint = getattr(err, "retry_after", None)
         else:
             if not fetch.triggered:
                 fetch.interrupt("download timeout")
@@ -114,6 +116,7 @@ def fetch_with_retry(
                     )
             elif not fetch.ok:
                 failure = str(fetch.value)
+                retry_hint = getattr(fetch.value, "retry_after", None)
             else:
                 resp = fetch.value
                 got = getattr(resp, "checksum", "")
@@ -139,6 +142,13 @@ def fetch_with_retry(
             )
             env.tracer.metrics.inc("install.download_retries")
         backoff = cal.download_backoff(attempt)
+        if retry_hint is not None and retry_hint > backoff:
+            # A 503's Retry-After hint overrides a shorter backoff: the
+            # server told us when capacity frees up — hammering it
+            # sooner just earns another rejection.
+            backoff = retry_hint
+            if env.tracer.enabled:
+                env.tracer.metrics.inc("install.retry_after_honored")
         say(f"{what}: {failure}; retrying in {backoff:.0f}s")
         yield env.timeout(backoff)
 

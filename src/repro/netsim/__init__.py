@@ -19,6 +19,7 @@ from .engine import (
 from .flows import Flow, FlowNetwork, Link, TransferAborted
 from .http import (
     DEFAULT_HTTP_EFFICIENCY,
+    AdmissionConfig,
     HttpError,
     HttpResponse,
     HttpServer,
@@ -47,6 +48,7 @@ __all__ = [
     "FlowNetwork",
     "Link",
     "TransferAborted",
+    "AdmissionConfig",
     "HttpError",
     "HttpResponse",
     "HttpServer",

@@ -187,6 +187,15 @@ class FlowNetwork:
     def active_flows(self) -> int:
         return len(self._flows)
 
+    def flows_through(self, link: Link) -> list[Flow]:
+        """Snapshot of the in-flight flows whose path crosses ``link``.
+
+        Public accessor so callers (e.g. ``HttpServer.abort_transfers``)
+        can find and cancel a link's flows without touching internals;
+        returns a list so cancelling while iterating is safe.
+        """
+        return [flow for flow in self._flows if link in flow.path]
+
     @property
     def bytes_moved(self) -> float:
         """Total bytes delivered across all completed and in-flight flows."""

@@ -18,10 +18,11 @@ Replicated servers plus :class:`LoadBalancer` model the paper's
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from .engine import Environment, Interrupt, Process
+from .engine import AnyOf, Environment, Event, Interrupt, Process
 from .flows import Link
 from .topology import Network
 
@@ -29,6 +30,7 @@ __all__ = [
     "HttpServer",
     "HttpResponse",
     "HttpError",
+    "AdmissionConfig",
     "LoadBalancer",
     "DEFAULT_HTTP_EFFICIENCY",
 ]
@@ -38,12 +40,52 @@ DEFAULT_HTTP_EFFICIENCY = 0.70
 
 
 class HttpError(Exception):
-    """An HTTP-level failure, carrying a status code."""
+    """An HTTP-level failure, carrying a status code.
 
-    def __init__(self, status: int, reason: str):
+    ``retry_after`` mirrors the Retry-After response header: a hint (in
+    seconds) for when the client should try again, attached to 503s shed
+    by admission control.  ``server`` names the backend that answered,
+    so clients behind a load balancer can attribute the failure.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        reason: str,
+        retry_after: Optional[float] = None,
+        server: str = "",
+    ):
         super().__init__(f"{status} {reason}")
         self.status = status
         self.reason = reason
+        self.retry_after = retry_after
+        self.server = server
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Admission-control knobs for one :class:`HttpServer`.
+
+    ``max_concurrent`` caps in-flight requests; arrivals beyond the cap
+    wait in a FIFO accept queue of at most ``queue_limit`` entries for up
+    to ``queue_timeout`` seconds.  Requests shed from a full queue (or
+    timed out waiting) get a 503 whose Retry-After is ``retry_after``.
+    """
+
+    max_concurrent: int
+    queue_limit: int = 16
+    queue_timeout: float = 30.0
+    retry_after: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 1:
+            raise ValueError("max_concurrent must be at least 1")
+        if self.queue_limit < 0:
+            raise ValueError("queue_limit must be non-negative")
+        if self.queue_timeout <= 0:
+            raise ValueError("queue_timeout must be positive")
+        if self.retry_after < 0:
+            raise ValueError("retry_after must be non-negative")
 
 
 @dataclass
@@ -90,6 +132,11 @@ class HttpServer:
         self._requests_served = 0
         self._bytes_served = 0.0
         self.running = True
+        self.admission: Optional[AdmissionConfig] = None
+        self._in_flight = 0
+        self._accept_queue: deque[Event] = deque()
+        self._rejected = 0
+        self._queue_timeouts = 0
 
     # -- content management ----------------------------------------------
     def publish(self, path: str, size: float) -> None:
@@ -125,11 +172,34 @@ class HttpServer:
         wire = self.network.host(self.host).tx.capacity or 0.0
         self.service_link.capacity = wire * self.efficiency or None
 
+    def configure_admission(self, config: Optional[AdmissionConfig]) -> None:
+        """Install (or clear, with ``None``) the admission-control policy.
+
+        Must not be changed while requests are queued — the queued slots
+        were admitted under the old policy.
+        """
+        if self._accept_queue:
+            raise RuntimeError("cannot reconfigure admission with queued requests")
+        self.admission = config
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._accept_queue)
+
+    @property
+    def rejected(self) -> int:
+        """Requests shed with a 503 by admission control (full or timed out)."""
+        return self._rejected
+
     def abort_transfers(self) -> None:
         """Reset every in-flight connection (the daemon was killed)."""
-        for flow in list(self.network.flows._flows):
-            if self.service_link in flow.path:
-                flow.cancel()
+        for flow in self.network.flows.flows_through(self.service_link):
+            flow.cancel()
+        self._flush_accept_queue("connection reset")
 
     # -- request path -------------------------------------------------------
     def get(
@@ -148,50 +218,179 @@ class HttpServer:
             if tracer.enabled
             else None
         )
+        admitted = False
         try:
-            if not self.running:
-                raise HttpError(503, f"server {self.host} not running")
-            if not self.network.reachable(self.host, client):
-                raise HttpError(504, f"no route from {client} to {self.host}")
-            body: Any = None
-            if path in self._cgi:
-                body, size = self._cgi[path](client, path)
-            elif path in self._documents:
-                size = self._documents[path]
-            else:
-                raise HttpError(404, f"{path} not found on {self.host}")
-        except HttpError as err:
+            try:
+                if not self.running:
+                    raise HttpError(
+                        503, f"server {self.host} not running", server=self.host
+                    )
+                if not self.network.reachable(self.host, client):
+                    raise HttpError(
+                        504,
+                        f"no route from {client} to {self.host}",
+                        server=self.host,
+                    )
+                if self.admission is not None:
+                    # May suspend in the accept queue; raises a 503 with a
+                    # Retry-After hint when the request is shed.  With no
+                    # admission policy this branch adds zero sim events.
+                    yield from self._admit(client, path)
+                    admitted = True
+                body: Any = None
+                if path in self._cgi:
+                    body, size = self._cgi[path](client, path)
+                elif path in self._documents:
+                    size = self._documents[path]
+                else:
+                    raise HttpError(
+                        404, f"{path} not found on {self.host}", server=self.host
+                    )
+            except HttpError as err:
+                if span is not None:
+                    span.end(outcome="error", status=err.status)
+                raise
+            wire_path = self.network.path(self.host, client)
+            flow = self.network.flows.transfer(
+                (self.service_link,) + wire_path,
+                size,
+                max_rate=max_rate,
+                label=f"http:{path}",
+            )
+            try:
+                yield flow.done
+            except Interrupt:
+                # The requester died (e.g. node power-cycled mid-download):
+                # tear the connection down so bandwidth is freed immediately.
+                flow.cancel()
+                if span is not None:
+                    span.end(outcome="aborted")
+                raise
+            except BaseException:
+                # Connection reset from the transfer side (cancelled flow).
+                if span is not None:
+                    span.end(outcome="reset")
+                raise
+            self._requests_served += 1
+            self._bytes_served += size
             if span is not None:
-                span.end(outcome="error", status=err.status)
-            raise
-        wire_path = self.network.path(self.host, client)
-        flow = self.network.flows.transfer(
-            (self.service_link,) + wire_path,
-            size,
-            max_rate=max_rate,
-            label=f"http:{path}",
-        )
+                span.end(outcome="ok", status=200, bytes=float(size))
+                tracer.metrics.inc(f"http.requests/{self.host}")
+                tracer.metrics.inc(f"http.bytes/{self.host}", size)
+            return HttpResponse(200, path, size, body=body, server=self.host)
+        finally:
+            if admitted:
+                self._release()
+
+    # -- admission control --------------------------------------------------
+    def _admit(self, client: str, path: str):
+        """Claim an in-flight slot, queueing (bounded) when at capacity.
+
+        Raises ``HttpError(503)`` with a Retry-After hint when the accept
+        queue is full, the queue wait times out, or the daemon dies while
+        the request is parked.
+        """
+        adm = self.admission
+        env = self.network.env
+        if self._in_flight < adm.max_concurrent and not self._accept_queue:
+            self._in_flight += 1
+            return
+        if len(self._accept_queue) >= adm.queue_limit:
+            self._shed(client, path, "queue-full")
+        slot = env.event()
+        self._accept_queue.append(slot)
+        self._gauge_queue_depth()
+        timer = env.timeout(adm.queue_timeout)
         try:
-            yield flow.done
+            yield AnyOf(env, (slot, timer))
         except Interrupt:
-            # The requester died (e.g. node power-cycled mid-download):
-            # tear the connection down so bandwidth is freed immediately.
-            flow.cancel()
-            if span is not None:
-                span.end(outcome="aborted")
+            if slot in self._accept_queue:
+                self._accept_queue.remove(slot)
+                self._gauge_queue_depth()
+            else:
+                # A releaser granted the slot before the interrupt landed.
+                self._release()
             raise
-        except BaseException:
-            # Connection reset from the transfer side (cancelled flow).
-            if span is not None:
-                span.end(outcome="reset")
+        except HttpError:
+            # The queue was flushed (daemon killed): the slot failed with
+            # the shedding 503.  The timer is still pending — defuse it.
+            env.cancel(timer)
             raise
-        self._requests_served += 1
-        self._bytes_served += size
-        if span is not None:
-            span.end(outcome="ok", status=200, bytes=float(size))
-            tracer.metrics.inc(f"http.requests/{self.host}")
-            tracer.metrics.inc(f"http.bytes/{self.host}", size)
-        return HttpResponse(200, path, size, body=body, server=self.host)
+        if slot in self._accept_queue:
+            # Queue membership is the single source of truth for grant vs
+            # timeout: a releaser pops the slot *before* succeeding it, so
+            # still-queued here means the wait timed out.
+            self._accept_queue.remove(slot)
+            self._gauge_queue_depth()
+            self._queue_timeouts += 1
+            if env.tracer.enabled:
+                env.tracer.metrics.inc(f"http.queue_timeouts/{self.host}")
+            self._shed(client, path, "queue-timeout")
+        # Granted: the releaser already counted this request in-flight.
+        env.cancel(timer)
+
+    def _shed(self, client: str, path: str, cause: str) -> None:
+        adm = self.admission
+        self._rejected += 1
+        tracer = self.network.env.tracer
+        if tracer.enabled:
+            tracer.metrics.inc(f"http.rejected/{self.host}")
+            tracer.event(
+                "http-reject",
+                path,
+                client=client,
+                server=self.host,
+                cause=cause,
+            )
+        raise HttpError(
+            503,
+            f"server {self.host} at capacity ({cause})",
+            retry_after=adm.retry_after,
+            server=self.host,
+        )
+
+    def _release(self) -> None:
+        """Free an in-flight slot and promote queued requests under the cap."""
+        self._in_flight -= 1
+        adm = self.admission
+        promoted = False
+        while (
+            adm is not None
+            and self._accept_queue
+            and self._in_flight < adm.max_concurrent
+        ):
+            slot = self._accept_queue.popleft()
+            self._in_flight += 1
+            promoted = True
+            slot.succeed()
+        if promoted:
+            self._gauge_queue_depth()
+
+    def _flush_accept_queue(self, reason: str) -> None:
+        """Fail every queued request (the daemon died while they waited)."""
+        if not self._accept_queue:
+            return
+        adm = self.admission
+        retry_after = adm.retry_after if adm is not None else None
+        queued, self._accept_queue = list(self._accept_queue), deque()
+        self._gauge_queue_depth()
+        for slot in queued:
+            self._rejected += 1
+            slot.fail(
+                HttpError(
+                    503,
+                    f"server {self.host} {reason}",
+                    retry_after=retry_after,
+                    server=self.host,
+                )
+            )
+
+    def _gauge_queue_depth(self) -> None:
+        tracer = self.network.env.tracer
+        if tracer.enabled:
+            tracer.metrics.gauge(
+                f"http.queue_depth/{self.host}", float(len(self._accept_queue))
+            )
 
     @staticmethod
     def _norm(path: str) -> str:
@@ -211,14 +410,57 @@ class LoadBalancer:
             raise ValueError("load balancer needs at least one backend")
         self.servers = list(servers)
         self._rr = itertools.cycle(range(len(self.servers)))
+        #: Optional predicate consulted before dispatch; a circuit breaker
+        #: plugs in here to keep requests off backends it has opened on.
+        self.should_avoid: Optional[Callable[[HttpServer], bool]] = None
 
     def get(
         self, client: str, path: str, max_rate: Optional[float] = None
     ) -> Process:
-        """Dispatch a GET to the next live backend (skipping dead ones)."""
+        """GET with failover: retries the next live backend on a 503/504."""
+        env = self.servers[0].network.env
+        return env.process(
+            self._do_get(client, path, max_rate),
+            name=f"LB GET {path} {client}",
+        )
+
+    def _do_get(self, client: str, path: str, max_rate: Optional[float]):
+        last_error: Optional[HttpError] = None
+        avoided = 0
         for _ in range(len(self.servers)):
             server = self.servers[next(self._rr)]
-            if server.running and server.network.reachable(server.host, client):
-                return server.get(client, path, max_rate=max_rate)
-        # All backends down: let the first raise its error inside a process.
-        return self.servers[0].get(client, path, max_rate=max_rate)
+            if not server.running:
+                continue
+            if not server.network.reachable(server.host, client):
+                continue
+            if self.should_avoid is not None and self.should_avoid(server):
+                avoided += 1
+                continue
+            request = server.get(client, path, max_rate=max_rate)
+            try:
+                response = yield request
+            except Interrupt:
+                if request.is_alive:
+                    request.interrupt("request aborted")
+                raise
+            except HttpError as err:
+                if err.status not in (503, 504):
+                    raise  # 4xx means the backend is healthy; don't fail over
+                last_error = err
+                continue
+            return response
+        if last_error is not None:
+            # Every backend was tried and shed/crashed mid-request.
+            raise last_error
+        if avoided:
+            # Live backends exist but the avoidance hook (circuit breaker)
+            # vetoed them all: fast-fail without touching the network.
+            raise HttpError(503, "all live backends avoided")
+        # All backends down pre-dispatch: surface the first one's error.
+        request = self.servers[0].get(client, path, max_rate=max_rate)
+        try:
+            return (yield request)
+        except Interrupt:
+            if request.is_alive:
+                request.interrupt("request aborted")
+            raise

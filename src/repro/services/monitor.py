@@ -45,8 +45,21 @@ class ClusterMonitor(Service):
         self.env = env
         self.heartbeat_seconds = heartbeat_seconds
         self._last: dict[str, Metrics] = {}
+        #: Hosts we expect heartbeats from; a registered host that never
+        #: beats reports age == inf and shows up in down_hosts().
+        self._expected: set[str] = set()
         self.heartbeats_received = 0
         self.start()
+
+    def expect(self, host: str) -> None:
+        """Register a host the monitor should account for."""
+        self._expected.add(host)
+
+    def expect_hosts(self, hosts) -> None:
+        self._expected.update(hosts)
+
+    def _known(self) -> set[str]:
+        return self._expected | set(self._last)
 
     def publish(self, metrics: Metrics) -> None:
         if not self.running:
@@ -63,19 +76,26 @@ class ClusterMonitor(Service):
         return float("inf") if m is None else self.env.now - m.time
 
     def down_hosts(self, threshold: Optional[float] = None) -> list[str]:
-        """Hosts whose heartbeat is stale — shoot-node candidates."""
+        """Hosts whose heartbeat is stale — shoot-node candidates.
+
+        Includes expected hosts that died before their first heartbeat:
+        their age is inf, which no threshold forgives.
+        """
         limit = threshold if threshold is not None else 3 * self.heartbeat_seconds
-        return sorted(h for h in self._last if self.age(h) > limit)
+        return sorted(h for h in self._known() if self.age(h) > limit)
 
     def up_hosts(self, threshold: Optional[float] = None) -> list[str]:
         limit = threshold if threshold is not None else 3 * self.heartbeat_seconds
-        return sorted(h for h in self._last if self.age(h) <= limit)
+        return sorted(h for h in self._known() if self.age(h) <= limit)
 
     def report(self) -> str:
         """A textual cluster-status page (the SCE web view, minus VRML)."""
         lines = [f"{'host':<16} {'state':<12} {'age':>6} {'load':>5} {'pkgs':>5}"]
-        for host in sorted(self._last):
-            m = self._last[host]
+        for host in sorted(self._known()):
+            m = self._last.get(host)
+            if m is None:
+                lines.append(f"{host:<16} {'no-contact':<12}   infs {'-':>5} {'-':>5}")
+                continue
             lines.append(
                 f"{host:<16} {m.state:<12} {self.age(host):>5.0f}s "
                 f"{m.load:>5} {m.packages:>5}"
@@ -117,6 +137,7 @@ def enable_monitoring(env: Environment, machines: list[Machine],
                       heartbeat_seconds: float = 10.0) -> ClusterMonitor:
     """Start a monitor and one daemon per machine; returns the aggregator."""
     monitor = ClusterMonitor(env, heartbeat_seconds=heartbeat_seconds)
+    monitor.expect_hosts(m.hostid for m in machines)
     for machine in machines:
         MonitorDaemon(monitor, machine)
     return monitor

@@ -18,7 +18,14 @@ Record taxonomy (the ``kind`` field; see :mod:`repro.telemetry.schema`):
 * ``fault`` — every action a :class:`~repro.faults.FaultInjector` takes;
 * ``campaign`` / ``campaign-node`` — reinstall-campaign supervision,
   with per-attempt and escalation events;
-* ``download-retry`` / ``download-failed`` — installer fetch retries.
+* ``download-retry`` / ``download-failed`` — installer fetch retries;
+* ``supervisor-restart`` / ``supervisor-degraded`` — service-supervisor
+  actions (plus ``supervisor.probes``/``supervisor.restarts`` counters);
+* ``http-reject`` — a request shed by admission control (503 with
+  Retry-After; queue depth is the ``http.queue_depth/<host>`` gauge);
+* ``breaker`` — circuit-breaker state transitions (closed/open/half-open);
+* ``frontend-crash`` / ``journal-replay`` — a frontend crash and the
+  database-journal replay span that recovers from it.
 """
 
 from __future__ import annotations

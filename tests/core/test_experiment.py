@@ -1,0 +1,106 @@
+"""chaos_reinstall driver: plan resolution, result surface, hardening."""
+
+from repro.faults import (
+    PLANS,
+    FaultPlan,
+    FrontendCrash,
+    LinkFlap,
+    NodeHang,
+    ServiceFlap,
+    chaos_reinstall,
+)
+from repro.resilience import (
+    FrontendResilience,
+    ResilienceOptions,
+    ServiceOutcome,
+    SupervisorPolicy,
+)
+
+
+def test_plan_name_is_resolved_and_reseeded():
+    result = chaos_reinstall(n_nodes=1, plan="none", seed=11)
+    assert result.plan.name == "none"
+    assert result.plan.seed == 11
+    assert result.n_nodes == 1
+
+
+def test_plan_instance_is_reseeded_too():
+    plan = FaultPlan("mine", (NodeHang(at=300.0, node=0),), seed=0)
+    result = chaos_reinstall(n_nodes=2, plan=plan, seed=9)
+    assert result.plan.seed == 9
+    assert result.plan.name == "mine"
+
+
+def test_result_surface_matches_the_report():
+    result = chaos_reinstall(n_nodes=2, plan="none")
+    assert result.minutes == result.report.minutes
+    assert result.completion_rate == result.report.completion_rate == 1.0
+    assert result.resilience is None
+    text = result.render()
+    assert "injection log" in text
+    assert "compute-0-0" in text
+
+
+def test_resilience_true_applies_the_default_options():
+    result = chaos_reinstall(n_nodes=1, plan="none", resilience=True)
+    assert isinstance(result.resilience, FrontendResilience)
+    assert result.resilience.journal is not None
+    assert result.resilience.supervisor is not None
+    assert "journal:" in result.render()
+
+
+def test_frontend_storm_combined_escalation():
+    """Crash + link flaps + a node hang in one run: the supervisor, the
+    journal replay, and the campaign's PDU ladder all fire together."""
+    assert "frontend-storm" in PLANS
+    plan = PLANS["frontend-storm"]
+    kinds = {type(f) for f in plan.faults}
+    assert kinds == {FrontendCrash, LinkFlap, NodeHang}
+    result = chaos_reinstall(n_nodes=6, plan="frontend-storm", seed=1,
+                             resilience=True)
+    assert result.completion_rate == 1.0
+    log_kinds = {r.kind for r in result.injector.log}
+    assert {"frontend-crash", "link-down", "link-up", "node-hang"} <= log_kinds
+    assert result.resilience.verify_recovery()
+    frontend = result.resilience.frontend
+    assert frontend.recovered_snapshot == result.injector.snapshots[0]
+
+
+def test_service_flap_burns_restart_budget_to_degraded():
+    """A service that keeps dying exhausts the supervisor's budget and is
+    handed off as a typed DEGRADED outcome instead of looping forever."""
+    # The flap (every 5s) out-paces the supervisor: each restart lands
+    # 3s after its probe and is killed 2s later, before the next probe
+    # ever sees the service healthy — so failures never reset and the
+    # budget of 3 drains to a degraded hand-off.
+    plan = FaultPlan(
+        "flappy", (ServiceFlap(at=60.0, service="nfs", times=10,
+                               period=5.0),),
+    )
+    options = ResilienceOptions(
+        supervisor=SupervisorPolicy(probe_interval=10.0, restart_backoff=3.0,
+                                    backoff_factor=1.0, jitter=0.0,
+                                    restart_budget=3),
+        breaker=False,
+    )
+    result = chaos_reinstall(n_nodes=1, plan=plan, resilience=options)
+    report = result.resilience.supervisor_report()
+    assert report.outcomes["nfs"] is ServiceOutcome.DEGRADED
+    assert report.degraded == ["nfs"]
+    assert not result.resilience.verify_recovery()
+    flaps = [r for r in result.injector.log if r.kind == "service-flap"]
+    assert len(flaps) == 10
+
+
+def test_campaign_state_transitions_are_journaled():
+    result = chaos_reinstall(n_nodes=2, plan="none", resilience=True)
+    journal = result.resilience.journal
+    globals_set = [
+        r["args"] for r in journal.records() if r["op"] == "set-global"
+    ]
+    campaign_steps = [a for a in globals_set if a["service"] == "campaign"]
+    values = {a["value"] for a in campaign_steps}
+    assert "installing" in values and "installed" in values
+    db = result.resilience.frontend.db
+    for node in db.compute_nodes():
+        assert db.get_global("campaign", node.name) == "installed"

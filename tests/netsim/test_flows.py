@@ -77,6 +77,22 @@ def test_arrival_slows_existing_flow():
     assert env.now == pytest.approx(12.5)
 
 
+def test_flows_through_selects_by_link():
+    env, net = make_net()
+    shared = Link("uplink", 100.0)
+    a = Link("a", 100.0)
+    b = Link("b", 100.0)
+    on_a = net.transfer([shared, a], 1000.0)
+    on_b = net.transfer([shared, b], 2000.0)
+    assert set(net.flows_through(shared)) == {on_a, on_b}
+    assert net.flows_through(a) == [on_a]
+    assert net.flows_through(b) == [on_b]
+    env.run(until=on_a.done)
+    # the finished flow drops out of every link's view
+    assert net.flows_through(a) == []
+    assert net.flows_through(shared) == [on_b]
+
+
 def test_multihop_bottleneck_is_min_link():
     env, net = make_net()
     fat = Link("fat", 1000.0)

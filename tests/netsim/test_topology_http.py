@@ -240,3 +240,61 @@ def test_load_balancer_skips_dead_backend():
 def test_load_balancer_requires_backends():
     with pytest.raises(ValueError):
         LoadBalancer([])
+
+
+def make_lb_pair():
+    from repro.netsim import AdmissionConfig
+
+    env = Environment()
+    network = Network(env)
+    servers = []
+    for i in range(2):
+        network.attach(f"www{i}", FAST_ETHERNET)
+        s = HttpServer(network, f"www{i}")
+        s.publish("/pkg", 1000)
+        servers.append(s)
+    network.attach("c0", FAST_ETHERNET)
+    network.attach("c1", FAST_ETHERNET)
+    return env, network, servers, AdmissionConfig
+
+
+def test_load_balancer_fails_over_on_mid_request_503():
+    """A backend that sheds the request (not merely down) is retried."""
+    env, _, servers, AdmissionConfig = make_lb_pair()
+    # www0 accepts one connection and queues nothing: the LB's request
+    # reaches _do_get and is shed with a live 503.
+    servers[0].configure_admission(
+        AdmissionConfig(max_concurrent=1, queue_limit=0)
+    )
+    servers[0].publish("/slow", FAST_ETHERNET * 60)
+    occupier = servers[0].get("c1", "/slow")
+    lb = LoadBalancer(servers)
+    resp = env.run(until=lb.get("c0", "/pkg"))
+    assert resp.server == "www1"
+    assert servers[0].rejected == 1
+    env.run(until=occupier)
+
+
+def test_load_balancer_does_not_fail_over_on_4xx():
+    env, _, servers, _ = make_lb_pair()
+
+    def go():
+        with pytest.raises(HttpError, match="404"):
+            yield LoadBalancer(servers).get("c0", "/missing")
+        return True
+
+    assert env.run(until=env.process(go()))
+
+
+def test_load_balancer_fast_fails_when_every_backend_is_avoided():
+    env, _, servers, _ = make_lb_pair()
+    lb = LoadBalancer(servers)
+    lb.should_avoid = lambda server: True
+
+    def go():
+        with pytest.raises(HttpError, match="avoided"):
+            yield lb.get("c0", "/pkg")
+        return True
+
+    assert env.run(until=env.process(go()))
+    assert all(s.requests_served == 0 for s in servers)

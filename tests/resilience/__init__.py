@@ -1,0 +1,1 @@
+"""Tests for the frontend resilience layer (repro.resilience)."""

@@ -1,0 +1,194 @@
+"""HTTP admission control: cap, bounded queue, shedding, telemetry."""
+
+import pytest
+
+from repro.netsim import (
+    FAST_ETHERNET,
+    AdmissionConfig,
+    Environment,
+    HttpError,
+    HttpServer,
+    Network,
+    TransferAborted,
+)
+from repro.telemetry import Tracer
+
+
+def make_http(n_clients=4, tracer=None):
+    env = Environment()
+    if tracer is not None:
+        tracer.attach(env)
+    network = Network(env)
+    network.attach("www", FAST_ETHERNET)
+    for i in range(n_clients):
+        network.attach(f"c{i}", FAST_ETHERNET)
+    server = HttpServer(network, "www", efficiency=1.0)
+    return env, server
+
+
+def fetch(env, server, client, path, results):
+    """GET wrapper recording the response or the HttpError."""
+    try:
+        resp = yield server.get(client, path)
+        results.append(resp)
+    except HttpError as err:
+        results.append(err)
+
+
+def test_admission_config_validation():
+    with pytest.raises(ValueError, match="max_concurrent"):
+        AdmissionConfig(max_concurrent=0)
+    with pytest.raises(ValueError, match="queue_limit"):
+        AdmissionConfig(max_concurrent=1, queue_limit=-1)
+    with pytest.raises(ValueError, match="queue_timeout"):
+        AdmissionConfig(max_concurrent=1, queue_timeout=0)
+    with pytest.raises(ValueError, match="retry_after"):
+        AdmissionConfig(max_concurrent=1, retry_after=-1)
+
+
+def test_admission_is_off_by_default():
+    env, server = make_http()
+    assert server.admission is None
+    server.publish("/x", 100)
+    resp = env.run(until=server.get("c0", "/x"))
+    assert resp.status == 200
+    # the fast path never touches the slot accounting
+    assert server.in_flight == 0 and server.queue_depth == 0
+    assert server.rejected == 0
+
+
+def test_cap_bounds_in_flight_and_queues_the_rest():
+    env, server = make_http()
+    server.configure_admission(AdmissionConfig(max_concurrent=2, queue_limit=8))
+    server.publish("/pkg", FAST_ETHERNET * 4)
+    results = []
+    for i in range(4):
+        env.process(fetch(env, server, f"c{i}", "/pkg", results))
+    env.run(until=0.5)
+    assert server.in_flight == 2
+    assert server.queue_depth == 2
+    env.run()
+    assert [r.status for r in results] == [200, 200, 200, 200]
+    assert server.rejected == 0
+    assert server.requests_served == 4
+
+
+def test_full_queue_sheds_503_with_retry_after():
+    env, server = make_http()
+    server.configure_admission(
+        AdmissionConfig(max_concurrent=1, queue_limit=1, retry_after=9.0)
+    )
+    server.publish("/pkg", FAST_ETHERNET * 10)
+    results = []
+    for i in range(3):
+        env.process(fetch(env, server, f"c{i}", "/pkg", results))
+    env.run(until=0.5)
+    # third request found one in flight and one queued
+    [shed] = [r for r in results if isinstance(r, HttpError)]
+    assert shed.status == 503
+    assert "queue-full" in shed.reason
+    assert shed.retry_after == 9.0
+    assert shed.server == "www"
+    assert server.rejected == 1
+    env.run()
+    assert sum(1 for r in results if getattr(r, "status", 0) == 200) == 2
+
+
+def test_queue_wait_times_out():
+    env, server = make_http()
+    server.configure_admission(
+        AdmissionConfig(max_concurrent=1, queue_limit=4, queue_timeout=5.0)
+    )
+    server.publish("/pkg", FAST_ETHERNET * 60)  # one transfer takes 60s
+    results = []
+    env.process(fetch(env, server, "c0", "/pkg", results))
+    env.process(fetch(env, server, "c1", "/pkg", results))
+    env.run(until=10.0)
+    [shed] = [r for r in results if isinstance(r, HttpError)]
+    assert shed.status == 503
+    assert "queue-timeout" in shed.reason
+    assert server.rejected == 1
+    assert server.queue_depth == 0  # the timed-out slot was removed
+    env.run()
+    assert server.requests_served == 1
+
+
+def test_slot_released_on_error_paths_too():
+    env, server = make_http()
+    server.configure_admission(AdmissionConfig(max_concurrent=2))
+    results = []
+    env.process(fetch(env, server, "c0", "/missing", results))
+    env.run()
+    assert results[0].status == 404
+    assert server.in_flight == 0  # the 404 released its admitted slot
+
+
+def test_daemon_death_flushes_the_queue():
+    env, server = make_http()
+    server.configure_admission(AdmissionConfig(max_concurrent=1, queue_limit=4))
+    server.publish("/pkg", FAST_ETHERNET * 60)
+    results = []
+
+    def fetch_any(client):
+        try:
+            resp = yield server.get(client, "/pkg")
+            results.append(resp)
+        except (HttpError, TransferAborted) as err:
+            results.append(err)
+
+    for i in range(3):
+        env.process(fetch_any(f"c{i}"))
+
+    def kill():
+        yield env.timeout(2.0)
+        server.running = False
+        server.abort_transfers()
+
+    env.process(kill())
+    env.run()
+    assert len(results) == 3
+    # the in-flight transfer is reset; both queued slots are flushed 503s
+    [aborted] = [r for r in results if isinstance(r, TransferAborted)]
+    flushed = [r for r in results if isinstance(r, HttpError)]
+    assert len(flushed) == 2
+    assert all(e.status == 503 and "connection reset" in e.reason
+               for e in flushed)
+    assert server.queue_depth == 0
+
+
+def test_reconfigure_with_queued_requests_rejected():
+    env, server = make_http()
+    server.configure_admission(AdmissionConfig(max_concurrent=1, queue_limit=4))
+    server.publish("/pkg", FAST_ETHERNET * 60)
+    results = []
+    env.process(fetch(env, server, "c0", "/pkg", results))
+    env.process(fetch(env, server, "c1", "/pkg", results))
+
+    def reconfigure():
+        yield env.timeout(1.0)
+        with pytest.raises(RuntimeError, match="queued"):
+            server.configure_admission(None)
+
+    done = env.process(reconfigure())
+    env.run(until=done)
+
+
+def test_queue_depth_gauge_and_reject_counter():
+    tracer = Tracer()
+    env, server = make_http(n_clients=8, tracer=tracer)
+    server.configure_admission(
+        AdmissionConfig(max_concurrent=1, queue_limit=3, queue_timeout=120.0)
+    )
+    server.publish("/pkg", FAST_ETHERNET * 5)
+    results = []
+    for i in range(8):
+        env.process(fetch(env, server, f"c{i}", "/pkg", results))
+    env.run()
+    metrics = tracer.metrics
+    assert metrics.peak("http.queue_depth/www") <= 3
+    assert metrics.counter("http.rejected/www") == server.rejected > 0
+    rejects = tracer.events("http-reject")
+    assert len(rejects) == server.rejected
+    assert all(e["attrs"]["cause"] == "queue-full" for e in rejects)
+    # everyone not shed was eventually served
+    assert server.requests_served == 8 - server.rejected

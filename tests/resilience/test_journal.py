@@ -1,0 +1,130 @@
+"""Write-ahead database journal: typed records, replay, byte-identity."""
+
+import json
+
+import pytest
+
+from repro.core.database import (
+    ClusterDatabase,
+    DatabaseError,
+    DatabaseJournal,
+    JournalError,
+)
+
+
+def make_journaled_db(path=None):
+    db = ClusterDatabase()
+    db.add_node("frontend-0", membership="Frontend", ip="10.1.1.1")
+    journal = DatabaseJournal(path)
+    db.attach_journal(journal)
+    return db, journal
+
+
+def test_attach_checkpoints_current_state():
+    db, journal = make_journaled_db()
+    assert len(journal) == 1
+    [record] = journal.records()
+    assert record["op"] == "checkpoint"
+    assert record["args"]["dump"] == db.snapshot()
+
+
+def test_mutations_append_typed_records():
+    db, journal = make_journaled_db()
+    db.add_node("compute-0-0", mac="aa:bb", rack=0, rank=0)
+    db.set_global("Kickstart", "PublicHostname", "frontend-0")
+    db.set_os_dist("compute-0-0", "rocks-dist-ia64")
+    db.remove_node("compute-0-0")
+    db.execute("UPDATE app_globals SET value='x' WHERE service='Kickstart'")
+    ops = [r["op"] for r in journal.records()]
+    assert ops == [
+        "checkpoint", "add-node", "set-global", "set-os-dist",
+        "remove-node", "sql",
+    ]
+    seqs = [r["seq"] for r in journal.records()]
+    assert seqs == sorted(seqs)
+
+
+def test_add_node_is_journaled_with_the_resolved_ip():
+    db, journal = make_journaled_db()
+    db.add_node("compute-0-0", mac="aa:bb")  # IP auto-assigned
+    record = journal.records()[-1]
+    assert record["op"] == "add-node"
+    assert record["args"]["ip"] is not None
+    assert record["args"]["ip"] == db.node_by_name("compute-0-0").ip
+
+
+def test_replay_restores_byte_identical_state():
+    db, journal = make_journaled_db()
+    for i in range(4):
+        db.add_node(f"compute-0-{i}", mac=f"00:50:8b:00:00:{i:02x}",
+                    rack=0, rank=i)
+    db.set_global("campaign", "compute-0-1", "installing")
+    db.remove_node("compute-0-3")
+    before = db.snapshot()
+    db.lose_state()
+    assert db.snapshot() != before
+    applied = journal.replay_into(db)
+    assert applied == len(journal)
+    assert db.snapshot() == before
+
+
+def test_replay_does_not_rejournal_itself():
+    db, journal = make_journaled_db()
+    db.add_node("compute-0-0", mac="aa:bb")
+    n = len(journal)
+    db.lose_state()
+    journal.replay_into(db)
+    assert len(journal) == n
+    assert not journal.replaying
+    assert journal.replays == 1
+    # journaling resumes after the replay
+    db.set_global("a", "b", "c")
+    assert len(journal) == n + 1
+
+
+def test_failed_add_node_replays_to_the_same_end_state():
+    db, journal = make_journaled_db()
+    db.add_node("compute-0-0", mac="aa:bb")
+    with pytest.raises(DatabaseError):
+        db.add_node("compute-0-0", mac="cc:dd")  # duplicate name
+    # the doomed call was journaled before it failed
+    assert [r["op"] for r in journal.records()].count("add-node") == 2
+    before = db.snapshot()
+    db.lose_state()
+    journal.replay_into(db)  # tolerates the record that fails again
+    assert db.snapshot() == before
+
+
+def test_checkpoint_truncates_the_log():
+    db, journal = make_journaled_db()
+    for i in range(5):
+        db.add_node(f"compute-0-{i}", mac=f"aa:{i:02x}")
+    assert len(journal) == 6
+    journal.checkpoint(db)
+    assert len(journal) == 1
+    before = db.snapshot()
+    db.lose_state()
+    journal.replay_into(db)
+    assert db.snapshot() == before
+
+
+def test_jsonl_file_mirrors_the_records(tmp_path):
+    path = tmp_path / "cluster.journal"
+    db, journal = make_journaled_db(str(path))
+    db.add_node("compute-0-0", mac="aa:bb")
+    lines = path.read_text().splitlines()
+    assert len(lines) == len(journal) == 2
+    assert [json.loads(line)["op"] for line in lines] == ["checkpoint", "add-node"]
+    assert path.read_text().rstrip("\n") == journal.to_jsonl()
+    journal.checkpoint(db)
+    assert len(path.read_text().splitlines()) == 1
+
+
+def test_unknown_op_raises_journal_error():
+    db, journal = make_journaled_db()
+    journal.append("teleport", where="elsewhere")
+    with pytest.raises(JournalError, match="teleport"):
+        journal.replay_into(db)
+    # the failed replay still restores the journaling hook
+    assert db.journal is journal
+    assert not journal.replaying

@@ -1,0 +1,223 @@
+"""ServiceSupervisor: probing, backoff restarts, budget, escalation."""
+
+import pytest
+
+from repro.netsim import Environment
+from repro.resilience import (
+    ServiceOutcome,
+    ServiceSupervisor,
+    SupervisorPolicy,
+)
+from repro.telemetry import Tracer
+
+
+class FakeService:
+    """Duck-typed Faultable: running/faulted/repair()/start()."""
+
+    def __init__(self):
+        self.running = True
+        self.faulted = False
+        self.starts = 0
+        self.repairs = 0
+
+    def fail(self):
+        self.running = False
+        self.faulted = True
+
+    def die(self):
+        """A non-fault death (the daemon process just exited)."""
+        self.running = False
+
+    def repair(self):
+        self.faulted = False
+        self.running = True
+        self.repairs += 1
+
+    def start(self):
+        self.running = True
+        self.starts += 1
+
+
+class StubbornService(FakeService):
+    """repair() never actually brings it back — exhausts the budget."""
+
+    def repair(self):
+        self.repairs += 1
+
+
+NO_JITTER = dict(probe_interval=10.0, restart_backoff=5.0, jitter=0.0)
+
+
+def make_supervisor(policy=None, **services):
+    env = Environment()
+    sup = ServiceSupervisor(env, policy or SupervisorPolicy(**NO_JITTER))
+    for name, svc in services.items():
+        sup.register(name, svc)
+    sup.start()
+    return env, sup
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError, match="probe_interval"):
+        SupervisorPolicy(probe_interval=0)
+    with pytest.raises(ValueError, match="restart_backoff"):
+        SupervisorPolicy(restart_backoff=-1)
+    with pytest.raises(ValueError, match="backoff_factor"):
+        SupervisorPolicy(backoff_factor=0.5)
+    with pytest.raises(ValueError, match="jitter"):
+        SupervisorPolicy(jitter=-0.1)
+    with pytest.raises(ValueError, match="restart_budget"):
+        SupervisorPolicy(restart_budget=0)
+
+
+def test_duplicate_registration_rejected():
+    env = Environment()
+    sup = ServiceSupervisor(env)
+    sup.register("dhcpd", FakeService())
+    with pytest.raises(ValueError, match="already supervised"):
+        sup.register("dhcpd", FakeService())
+
+
+def test_healthy_service_is_only_probed():
+    svc = FakeService()
+    env, sup = make_supervisor(dhcpd=svc)
+    env.run(until=55.0)
+    report = sup.report()
+    assert report.probes == 5
+    assert report.restarts == []
+    assert report.outcomes["dhcpd"] is ServiceOutcome.HEALTHY
+
+
+def test_faulted_service_is_repaired_with_backoff():
+    svc = FakeService()
+    env, sup = make_supervisor(httpd=svc)
+    svc.fail()
+    env.run(until=60.0)
+    assert svc.running and not svc.faulted
+    assert svc.repairs == 1 and svc.starts == 0
+    report = sup.report()
+    [rec] = report.restarts
+    assert rec.service == "httpd"
+    assert rec.attempt == 1
+    assert rec.backoff == pytest.approx(5.0)
+    # first failed probe at t=10, restart lands one backoff later
+    assert rec.t == pytest.approx(15.0)
+    assert report.outcomes["httpd"] is ServiceOutcome.RECOVERED
+
+
+def test_dead_but_unfaulted_service_is_started_not_repaired():
+    svc = FakeService()
+    env, sup = make_supervisor(nfs=svc)
+    svc.die()
+    env.run(until=40.0)
+    assert svc.running
+    assert svc.starts == 1 and svc.repairs == 0
+
+
+def test_backoff_grows_exponentially_and_caps():
+    svc = StubbornService()
+    policy = SupervisorPolicy(
+        probe_interval=10.0,
+        restart_backoff=5.0,
+        backoff_factor=2.0,
+        max_backoff=15.0,
+        jitter=0.0,
+        restart_budget=4,
+    )
+    env, sup = make_supervisor(policy, httpd=svc)
+    svc.fail()
+    env.run(until=500.0)
+    backoffs = [rec.backoff for rec in sup.report().restarts]
+    # 5, 10, then clamped to max_backoff
+    assert backoffs == pytest.approx([5.0, 10.0, 15.0, 15.0])
+
+
+def test_budget_exhaustion_escalates_to_degraded():
+    svc = StubbornService()
+    policy = SupervisorPolicy(
+        probe_interval=10.0, restart_backoff=1.0, jitter=0.0, restart_budget=3
+    )
+    env = Environment()
+    tracer = Tracer().attach(env)
+    sup = ServiceSupervisor(env, policy)
+    sup.register("httpd", svc)
+    sup.start()
+    svc.fail()
+    env.run(until=400.0)
+    report = sup.report()
+    assert len(report.restarts) == 3  # budget, then hands off
+    assert report.outcomes["httpd"] is ServiceOutcome.DEGRADED
+    assert report.degraded == ["httpd"]
+    assert svc.repairs == 3
+    [event] = tracer.events("supervisor-degraded")
+    assert event["name"] == "httpd"
+    assert tracer.metrics.counter("supervisor.restarts") == 3
+
+
+def test_healthy_probe_resets_the_failure_count():
+    svc = FakeService()
+    env, sup = make_supervisor(httpd=svc)
+    svc.fail()
+    env.run(until=60.0)  # repaired once
+    svc.fail()
+    env.run(until=120.0)  # repaired again
+    backoffs = [rec.backoff for rec in sup.report().restarts]
+    # second incident starts from the base backoff, not 2x
+    assert backoffs == pytest.approx([5.0, 5.0])
+    assert all(rec.attempt == 1 for rec in sup.report().restarts)
+
+
+def test_service_healing_during_backoff_skips_the_restart():
+    svc = FakeService()
+    env, sup = make_supervisor(httpd=svc)
+    svc.fail()
+
+    def heal():
+        yield env.timeout(12.0)  # probe at t=10 queued a restart for t=15
+        svc.repair()
+
+    env.process(heal())
+    env.run(until=60.0)
+    assert sup.report().restarts == []
+    assert svc.repairs == 1  # only the self-heal
+
+
+def test_jitter_is_deterministic_per_seed():
+    def run(seed):
+        svc = FakeService()
+        policy = SupervisorPolicy(
+            probe_interval=10.0, restart_backoff=5.0, jitter=0.5, seed=seed
+        )
+        env, sup = make_supervisor(policy, httpd=svc)
+        svc.fail()
+        env.run(until=60.0)
+        return [rec.backoff for rec in sup.report().restarts]
+
+    assert run(1) == run(1)
+    assert run(1) != run(2)
+    assert all(5.0 <= b <= 7.5 for b in run(1))
+
+
+def test_on_restart_hook_runs_before_revival():
+    svc = FakeService()
+    seen = []
+    env = Environment()
+    sup = ServiceSupervisor(env, SupervisorPolicy(**NO_JITTER))
+    sup.register("httpd", svc, on_restart=lambda s: seen.append(s.running))
+    sup.start()
+    svc.fail()
+    env.run(until=60.0)
+    assert seen == [False]  # hook saw the service still down
+    assert svc.running
+
+
+def test_stop_halts_probing():
+    svc = FakeService()
+    env, sup = make_supervisor(httpd=svc)
+    env.run(until=25.0)
+    sup.stop()
+    assert not sup.running
+    svc.fail()
+    env.run(until=100.0)
+    assert not svc.running  # nobody restarted it
+    assert sup.report().probes == 2

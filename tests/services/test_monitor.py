@@ -80,3 +80,29 @@ def test_age_unseen_host_is_inf():
 
     monitor = ClusterMonitor(Environment())
     assert monitor.age("ghost") == float("inf")
+
+
+def test_expected_host_that_never_heartbeats_reports_down():
+    """A host that dies before its first heartbeat must not be invisible."""
+    from repro.netsim import Environment
+
+    env = Environment()
+    monitor = ClusterMonitor(env)
+    monitor.expect("compute-0-9")
+    env.run(until=100.0)
+    assert monitor.down_hosts() == ["compute-0-9"]
+    assert "compute-0-9" not in monitor.up_hosts()
+    report = monitor.report()
+    assert "compute-0-9" in report and "no-contact" in report
+
+
+def test_enable_monitoring_expects_every_machine():
+    """A node down from the start appears in down_hosts despite zero beats."""
+    sim = build_cluster(n_compute=2)
+    sim.integrate_all()
+    sim.nodes[0].power_off()
+    monitor = enable_monitoring(sim.env, sim.nodes, heartbeat_seconds=10)
+    sim.env.run(until=sim.env.now + 40)
+    assert monitor.heartbeats_received > 0  # the live node is beating
+    assert sim.nodes[0].hostid in monitor.down_hosts()
+    assert monitor.snapshot().get(sim.nodes[0].hostid) is None
