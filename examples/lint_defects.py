@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Lint a deliberately broken site configuration before any node installs.
+
+Two defects that the paper's CGI compiler would only surface at install
+time (or never):
+
+1. a graph cycle — a site edge from ``c-development`` back to
+   ``compute`` turns the appliance subtree into a loop (RK103);
+2. a shadowed site RPM — the site-local source ships ``gcc 2.95`` to
+   override the stock compiler, but stock already carries the *newer*
+   2.96, so rocks-dist silently drops the override and the site build
+   never installs (RK108).
+
+`repro lint` catches both statically, with the offending cycle path and
+the shadowing build spelled out.
+
+Run:  PYTHONPATH=src python examples/lint_defects.py
+"""
+
+from repro.analysis import ConfigContext, analyze_config, render_text
+from repro.core.kickstart import default_graph, default_node_files
+from repro.rpm import Package, Repository, community_packages, npaci_packages, stock_redhat
+
+
+def main() -> None:
+    print("== seeding two defects into the default site description ==")
+
+    # Defect 1: a back edge creating the cycle compute -> c-development -> compute.
+    graph = default_graph()
+    graph.add_edge("c-development", "compute")
+    print("  graph: added edge c-development -> compute (cycle)")
+
+    # Defect 2: a site-local override that is OLDER than the stock build.
+    site_local = Repository("site-local")
+    site_local.add(Package("gcc", "2.95", size=7 << 20))
+    print("  dist:  site-local ships gcc-2.95-1 (stock has gcc-2.96-1)")
+
+    # The rocks-dist source stack, in precedence order (later wins ties).
+    sources = [
+        ("stock-redhat", stock_redhat()),
+        ("community", community_packages("i386")),
+        ("npaci", npaci_packages()),
+        ("site-local", site_local),
+    ]
+    merged = Repository("rocks-dist")
+    for _, src in sources:
+        merged.add_all(src)
+
+    ctx = ConfigContext(
+        graph=graph,
+        node_files=default_node_files(),
+        dist_name="rocks-dist",
+        dist_resolver=lambda d: merged,
+        arches=("i386",),
+        sources=sources,
+    )
+
+    print("\n== repro lint ==")
+    diagnostics = analyze_config(ctx)
+    print(render_text(diagnostics))
+
+    codes = sorted({d.code for d in diagnostics})
+    print(f"\ncaught before a single (simulated) node asked for a kickstart: "
+          f"{', '.join(codes)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,7 +20,11 @@ The package layers, bottom to top:
   reinstall experiment (§4's failure model, made executable);
 * :mod:`repro.telemetry` — structured tracing + metrics over the
   simulation (install-phase spans, link-utilization timeseries), off
-  and zero-overhead by default.
+  and zero-overhead by default;
+* :mod:`repro.analysis` — typed diagnostics (stable ``RK*`` codes) with
+  static analyzers over the XML kickstart infrastructure and a
+  self-hosted AST determinism linter over this package, behind
+  ``python -m repro lint``.
 
 Quick start::
 
@@ -36,6 +40,6 @@ See ``examples/quickstart.py`` for the full tour.
 from .quickbuild import RocksCluster, build_cluster
 from .telemetry import Tracer
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = ["RocksCluster", "Tracer", "build_cluster", "__version__"]

@@ -1,0 +1,120 @@
+"""Per-code suppression baseline.
+
+A baseline records *accepted* findings so the linter can gate on "no
+NEW problems" without forcing every historical or intentional finding
+to zero first — the workflow every large static-analysis deployment
+converges on.  The file format is line-oriented and diff-friendly::
+
+    # comment
+    RK203 src/repro/netsim/flows.py  # max-min rounds are order-independent
+
+Each entry is ``CODE PATH  # justification``.  The justification is
+mandatory by convention (the linter warns when it is missing): a
+suppression nobody can explain is a suppression nobody can ever remove.
+Matching is by exact code plus path suffix, never by line number —
+baselines must survive unrelated edits to the file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from .diagnostics import Diagnostic
+
+__all__ = ["BaselineEntry", "Baseline"]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted (code, path) pair with its one-line justification."""
+
+    code: str
+    path: str
+    justification: str = ""
+
+    def matches(self, diag: Diagnostic) -> bool:
+        if diag.code != self.code:
+            return False
+        file = diag.location.file
+        return file == self.path or file.endswith("/" + self.path)
+
+    def render(self) -> str:
+        line = f"{self.code} {self.path}"
+        if self.justification:
+            line += f"  # {self.justification}"
+        return line
+
+
+class Baseline:
+    """A parsed suppression file applied to a diagnostic list."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()):
+        self.entries = list(entries)
+        #: entries that matched at least one diagnostic in the last apply()
+        self.used: list[BaselineEntry] = []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- parsing -----------------------------------------------------------
+    @classmethod
+    def from_text(cls, text: str) -> "Baseline":
+        entries = []
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            body, _, comment = line.partition("#")
+            parts = body.split()
+            if len(parts) != 2:
+                raise ValueError(f"bad baseline line: {raw!r} "
+                                 "(want 'CODE PATH  # justification')")
+            entries.append(
+                BaselineEntry(parts[0], parts[1], comment.strip())
+            )
+        return cls(entries)
+
+    @classmethod
+    def from_file(cls, path) -> "Baseline":
+        """Load a baseline; a missing file is an empty baseline."""
+        try:
+            with open(path, encoding="utf-8") as fh:
+                return cls.from_text(fh.read())
+        except FileNotFoundError:
+            return cls()
+
+    # -- application -------------------------------------------------------
+    def entry_for(self, diag: Diagnostic) -> Optional[BaselineEntry]:
+        for entry in self.entries:
+            if entry.matches(diag):
+                return entry
+        return None
+
+    def apply(
+        self, diagnostics: Iterable[Diagnostic]
+    ) -> tuple[list[Diagnostic], list[Diagnostic]]:
+        """Split into (kept, suppressed); records which entries fired."""
+        kept: list[Diagnostic] = []
+        suppressed: list[Diagnostic] = []
+        used: dict[BaselineEntry, None] = {}
+        for diag in diagnostics:
+            entry = self.entry_for(diag)
+            if entry is None:
+                kept.append(diag)
+            else:
+                suppressed.append(diag)
+                used[entry] = None
+        self.used = list(used)
+        return kept, suppressed
+
+    def unjustified(self) -> list[BaselineEntry]:
+        """Entries missing their mandatory one-line justification."""
+        return [e for e in self.entries if not e.justification]
+
+    def render(self) -> str:
+        header = [
+            "# repro lint suppression baseline",
+            "# one entry per line: CODE PATH  # justification",
+        ]
+        return "\n".join(header + [e.render() for e in self.entries]) + "\n"

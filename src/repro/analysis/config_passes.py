@@ -1,0 +1,432 @@
+"""Config-graph analyzers: static checks over the §6.1 XML infrastructure.
+
+The paper's CGI compiler only fails *at install time*; these passes run
+the same semantic checks statically, before any (simulated) node asks
+for a kickstart.  The context carries everything a site's description
+consists of: the graph, the node files, the distribution the packages
+must resolve against, and (optionally) the ordered rocks-dist source
+stack so composition defects are visible too.
+
+Every pass emits typed :class:`~repro.analysis.diagnostics.Diagnostic`
+objects with stable ``RK1xx`` codes; see ``CODES`` for the table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..core.database.clusterdb import NodeRow
+from ..core.kickstart.graph import Graph
+from ..core.kickstart.nodefile import NodeFile
+from ..rpm import DependencyError, Repository, resolve
+from ..rpm.repository import PackageNotFound
+from .diagnostics import Diagnostic, SourceLocation, code_info
+from .passes import CONFIG_PASSES, register_config, run_passes
+
+__all__ = ["ConfigContext", "analyze_config", "PROVIDED_ATTRIBUTES"]
+
+
+#: Database attributes a post script may reference as ``&name;`` tokens
+#: (authored as ``&amp;name;`` in the XML).  ``node.*`` mirrors the nodes
+#: table one-to-one; the ``Kickstart_*`` names are the classic Rocks
+#: entities the report generators provide for the frontend.
+PROVIDED_ATTRIBUTES: frozenset[str] = frozenset(
+    {f"node.{f.name}" for f in dataclasses.fields(NodeRow)}
+    | {
+        "frontend.name",
+        "frontend.ip",
+        "Kickstart_PrivateHostname",
+        "Kickstart_PrivateAddress",
+        "Kickstart_PublicHostname",
+        "Kickstart_PublicAddress",
+    }
+)
+
+#: &token; references inside parsed post-script text.  XML's own five
+#: entities never survive parsing, so anything matching is ours.
+_ATTR_REF = re.compile(r"&([A-Za-z_][A-Za-z0-9_.]*);")
+
+
+@dataclass
+class ConfigContext:
+    """Everything the config analyzers look at."""
+
+    graph: Graph
+    node_files: dict[str, NodeFile]
+    dist_name: str = "rocks-dist"
+    #: maps dist name -> Repository; raises KeyError for unknown dists
+    dist_resolver: Optional[Callable[[str], Repository]] = None
+    #: architectures the site supports (drives traversals and RK104)
+    arches: tuple[str, ...] = ("i386",)
+    #: ordered (source name, repository) stack for composition checks;
+    #: later sources take precedence on version ties, as rocks-dist does
+    sources: Optional[Sequence[tuple[str, Repository]]] = None
+    provided_attributes: frozenset[str] = field(
+        default=PROVIDED_ATTRIBUTES
+    )
+
+    # -- shared lookups ---------------------------------------------------
+    @property
+    def graph_file(self) -> str:
+        return f"graph/{self.graph.name}.xml"
+
+    def node_file_loc(self, name: str) -> SourceLocation:
+        return SourceLocation(f"nodes/{name}.xml")
+
+    def diag(self, code: str, message: str, location: SourceLocation,
+             hint: str = "", arch: Optional[str] = None,
+             **data) -> Diagnostic:
+        return Diagnostic(
+            code=code,
+            severity=code_info(code).severity,
+            message=message,
+            location=location,
+            hint=hint,
+            arch=arch,
+            data=data,
+        )
+
+
+def analyze_config(ctx: ConfigContext, select=None, ignore=None):
+    """Run every config pass; deterministic, sorted diagnostics."""
+    return run_passes(CONFIG_PASSES, ctx, select=select, ignore=ignore)
+
+
+# -- RK101: dangling graph references --------------------------------------------
+
+
+@register_config("RK101")
+def check_dangling_edges(ctx: ConfigContext):
+    """Graph names (either end of an edge) with no node-file definition."""
+    defined = set(ctx.node_files)
+    edges_by_name: dict[str, list[str]] = {}
+    for edge in ctx.graph.edges:
+        for name in (edge.frm, edge.to):
+            if name not in defined:
+                edges_by_name.setdefault(name, []).append(
+                    f"{edge.frm} -> {edge.to}"
+                )
+    for name in sorted(edges_by_name):
+        yield ctx.diag(
+            "RK101",
+            f"graph references undefined node file {name!r}",
+            SourceLocation(ctx.graph_file),
+            hint=(
+                f"define nodes/{name}.xml or drop edge(s) "
+                + ", ".join(sorted(set(edges_by_name[name])))
+            ),
+            module=name,
+            edges=sorted(set(edges_by_name[name])),
+        )
+
+
+# -- RK102: orphan modules ---------------------------------------------------------
+
+
+@register_config("RK102")
+def check_orphan_modules(ctx: ConfigContext):
+    """Defined node files no appliance root reaches on any supported arch."""
+    roots = ctx.graph.roots()
+    reachable: set[str] = set()
+    for root in roots:
+        for arch in ctx.arches:
+            try:
+                reachable.update(ctx.graph.traverse(root, arch))
+            except Exception:
+                continue
+    for orphan in sorted(set(ctx.node_files) - reachable - set(roots)):
+        yield ctx.diag(
+            "RK102",
+            f"node file {orphan!r} is not reachable from any appliance",
+            ctx.node_file_loc(orphan),
+            hint=f"add an edge from an appliance (roots: {', '.join(roots)}) "
+                 f"or delete the module",
+            module=orphan,
+        )
+
+
+# -- RK103: cycles -----------------------------------------------------------------
+
+
+def _find_cycles(graph: Graph, arch: str) -> list[tuple[str, ...]]:
+    """All elementary cycles found by DFS back-edges, canonicalised."""
+    adjacency: dict[str, list[str]] = {}
+    for edge in graph.edges:
+        if edge.applies_to(arch):
+            adjacency.setdefault(edge.frm, []).append(edge.to)
+    cycles: set[tuple[str, ...]] = set()
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: dict[str, int] = {}
+
+    def visit(node: str, path: list[str]) -> None:
+        color[node] = GREY
+        path.append(node)
+        for succ in adjacency.get(node, ()):
+            state = color.get(succ, WHITE)
+            if state == GREY:
+                cycle = tuple(path[path.index(succ):])
+                # canonical rotation: smallest member first
+                pivot = cycle.index(min(cycle))
+                cycles.add(cycle[pivot:] + cycle[:pivot])
+            elif state == WHITE:
+                visit(succ, path)
+        path.pop()
+        color[node] = BLACK
+
+    for start in sorted(adjacency):
+        if color.get(start, WHITE) == WHITE:
+            visit(start, [])
+    return sorted(cycles)
+
+
+@register_config("RK103")
+def check_cycles(ctx: ConfigContext):
+    """Cycles with the offending path.  Traversal dedups, so installs
+    still work — but a cycle always means an edge points the wrong way."""
+    found: dict[tuple[str, ...], list[str]] = {}
+    for arch in ctx.arches:
+        for cycle in _find_cycles(ctx.graph, arch):
+            found.setdefault(cycle, []).append(arch)
+    for cycle in sorted(found):
+        arches = found[cycle]
+        path = " -> ".join(cycle + (cycle[0],))
+        yield ctx.diag(
+            "RK103",
+            f"graph cycle: {path}",
+            SourceLocation(ctx.graph_file),
+            hint=f"remove or reverse one edge on the path {path}",
+            arch=None if len(arches) == len(ctx.arches) else arches[0],
+            cycle=list(cycle),
+        )
+
+
+# -- RK104: dead arch-conditional edges ----------------------------------------
+
+
+@register_config("RK104")
+def check_dead_arch_edges(ctx: ConfigContext):
+    """Edges whose arch set intersects no supported architecture."""
+    supported = set(ctx.arches)
+    for edge in ctx.graph.edges:
+        if edge.archs is not None and not (edge.archs & supported):
+            archs = ",".join(sorted(edge.archs))
+            yield ctx.diag(
+                "RK104",
+                f"edge {edge.frm} -> {edge.to} (arch={archs}) applies to no "
+                f"supported architecture ({', '.join(ctx.arches)})",
+                SourceLocation(ctx.graph_file),
+                hint="fix the arch attribute or add the architecture to the "
+                     "supported set",
+                edge=f"{edge.frm} -> {edge.to}",
+                archs=sorted(edge.archs),
+            )
+
+
+# -- RK105: duplicate package declarations ------------------------------------------
+
+
+@register_config("RK105")
+def check_duplicate_packages(ctx: ConfigContext):
+    """A package declared by two modules of one traversal (or twice in
+    one module) installs once but is owned by nobody."""
+    seen: set[tuple[str, str, tuple[str, ...]]] = set()
+    for root in ctx.graph.roots():
+        for arch in ctx.arches:
+            try:
+                order = ctx.graph.traverse(root, arch)
+            except Exception:
+                continue
+            declared: dict[str, list[str]] = {}
+            for module in order:
+                node = ctx.node_files.get(module)
+                if node is None:
+                    continue
+                for pkg in node.package_names(arch):
+                    declared.setdefault(pkg, []).append(module)
+            for pkg, modules in sorted(declared.items()):
+                if len(modules) < 2:
+                    continue
+                key = (root, pkg, tuple(modules))
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield ctx.diag(
+                    "RK105",
+                    f"package {pkg!r} declared {len(modules)} times in the "
+                    f"{root!r} traversal (by {', '.join(modules)})",
+                    ctx.node_file_loc(modules[-1]),
+                    hint=f"keep the declaration in exactly one module; "
+                         f"candidates: {', '.join(dict.fromkeys(modules))}",
+                    arch=arch if len(ctx.arches) > 1 else None,
+                    appliance=root,
+                    package=pkg,
+                    modules=modules,
+                )
+
+
+# -- RK106: unresolvable packages -------------------------------------------------
+
+
+@register_config("RK106", "RK110")
+def check_package_resolution(ctx: ConfigContext):
+    """Every traversal's package set must resolve against the dist.
+
+    Direct misses carry the declaration chain (appliance -> module ->
+    package); transitive misses carry the requirement chain the
+    depsolver reports (``nevra requires dep (no provider)``).
+    """
+    if ctx.dist_resolver is None:
+        return
+    try:
+        repo = ctx.dist_resolver(ctx.dist_name)
+    except KeyError as err:
+        yield ctx.diag(
+            "RK110",
+            str(err),
+            SourceLocation(f"dist/{ctx.dist_name}"),
+            hint="run rocks-dist dist, or point the node rows at an "
+                 "existing distribution",
+            dist=ctx.dist_name,
+        )
+        return
+    for root in ctx.graph.roots():
+        for arch in ctx.arches:
+            try:
+                order = ctx.graph.traverse(root, arch)
+            except Exception:
+                continue
+            requested: list[str] = []
+            declared_by: dict[str, str] = {}
+            for module in order:
+                node = ctx.node_files.get(module)
+                if node is None:
+                    continue
+                for pkg in node.package_names(arch):
+                    declared_by.setdefault(pkg, module)
+                    requested.append(pkg)
+            # direct misses, with the declaration chain
+            missing: set[str] = set()
+            for pkg in sorted(declared_by):
+                try:
+                    repo.latest(pkg, arch=arch)
+                except PackageNotFound:
+                    missing.add(pkg)
+                    yield ctx.diag(
+                        "RK106",
+                        f"{root}/{arch}: package {pkg!r} not in "
+                        f"{ctx.dist_name}",
+                        ctx.node_file_loc(declared_by[pkg]),
+                        hint=f"chain: appliance {root!r} -> module "
+                             f"{declared_by[pkg]!r} -> package {pkg!r}; add "
+                             f"the package to a rocks-dist source or drop it",
+                        arch=arch,
+                        appliance=root,
+                        package=pkg,
+                        module=declared_by[pkg],
+                    )
+            # transitive misses, with the depsolver's requirement chain
+            try:
+                resolve(repo, [p for p in requested if p not in missing],
+                        arch=arch)
+            except DependencyError as err:
+                for problem in sorted(set(err.problems)):
+                    if problem.startswith("<requested>"):
+                        continue  # direct miss, already reported above
+                    yield ctx.diag(
+                        "RK106",
+                        f"{root}/{arch}: {problem}",
+                        SourceLocation(f"dist/{ctx.dist_name}"),
+                        hint="the dependency chain above names the package "
+                             "whose requirement cannot be satisfied",
+                        arch=arch,
+                        appliance=root,
+                        problem=problem,
+                    )
+
+
+# -- RK107: unknown database attributes ----------------------------------------
+
+
+@register_config("RK107")
+def check_db_attributes(ctx: ConfigContext):
+    """``&name;`` references in post scripts must name attributes a
+    report generator provides."""
+    for name in sorted(ctx.node_files):
+        node = ctx.node_files[name]
+        for frag in node.post:
+            for match in _ATTR_REF.finditer(frag.script):
+                attr = match.group(1)
+                if attr in ctx.provided_attributes:
+                    continue
+                yield ctx.diag(
+                    "RK107",
+                    f"post script in {name!r} references database attribute "
+                    f"&{attr}; which no report generator provides",
+                    ctx.node_file_loc(name),
+                    hint="provided attributes: node.<column> for every nodes-"
+                         "table column, frontend.name/ip, Kickstart_*",
+                    module=name,
+                    attribute=attr,
+                )
+
+
+# -- RK108 / RK109: distribution composition -----------------------------------
+
+
+@register_config("RK108", "RK109")
+def check_dist_composition(ctx: ConfigContext):
+    """Replay rocks-dist's gather with provenance tracking.
+
+    rocks-dist keeps the newest EVR per (name, arch); a later (higher
+    precedence) source only wins ties.  A site-local package silently
+    beaten by a newer upstream build is the classic "my override never
+    installs" defect (RK108).  A composition that yields zero packages
+    is RK109.
+    """
+    if not ctx.sources:
+        return
+    loc = SourceLocation(f"dist/{ctx.dist_name}")
+    best: dict[tuple[str, str], tuple] = {}  # (name, arch) -> (pkg, src idx)
+    shadowed: list[tuple] = []
+    for idx, (src_name, repo) in enumerate(ctx.sources):
+        for pkg in repo:
+            key = (pkg.name, pkg.arch)
+            current = best.get(key)
+            if current is None:
+                best[key] = (pkg, idx)
+            elif pkg.newer_than(current[0]) or pkg.evr == current[0].evr:
+                best[key] = (pkg, idx)
+            else:
+                # a later source lost to an earlier, newer build
+                shadowed.append((pkg, src_name, current[0],
+                                 ctx.sources[current[1]][0]))
+    for pkg, src_name, winner, winner_src in shadowed:
+        yield ctx.diag(
+            "RK108",
+            f"{src_name}: {pkg.nevra} is shadowed by newer {winner.nevra} "
+            f"from {winner_src}; the {src_name} build never reaches the "
+            f"distribution",
+            loc,
+            hint=f"bump {pkg.name} in {src_name} past "
+                 f"{winner.version}-{winner.release}, or delete the stale "
+                 f"build",
+            package=pkg.name,
+            shadowed=pkg.nevra,
+            by=winner.nevra,
+            source=src_name,
+            winning_source=winner_src,
+        )
+    if not best:
+        yield ctx.diag(
+            "RK109",
+            f"distribution {ctx.dist_name!r} is empty: "
+            f"{len(ctx.sources)} source(s) contribute no packages",
+            loc,
+            hint="check that the mirror ran and the source repositories "
+                 "are populated",
+            dist=ctx.dist_name,
+            sources=[name for name, _ in ctx.sources],
+        )

@@ -1,0 +1,66 @@
+"""Diagnostic renderers: text for humans, JSON for machines.
+
+Both renderers are deterministic functions of the diagnostic list:
+two runs over the same inputs produce byte-identical output (the JSON
+form is what CI diffs and the schema-stability test locks down).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["render_text", "render_json", "summarize", "JSON_SCHEMA_VERSION"]
+
+#: bump only on incompatible changes to the JSON layout
+JSON_SCHEMA_VERSION = "repro-lint/1"
+
+
+def summarize(diagnostics: Iterable[Diagnostic]) -> dict[str, int]:
+    """Counts per severity, every severity always present."""
+    counts = {sev.value: 0 for sev in Severity}
+    for diag in diagnostics:
+        counts[diag.severity.value] += 1
+    return counts
+
+
+def render_text(
+    diagnostics: Sequence[Diagnostic],
+    suppressed: int = 0,
+) -> str:
+    """The classic compiler-style listing plus a one-line summary."""
+    lines: list[str] = []
+    for diag in diagnostics:
+        lines.append(diag.render())
+        if diag.hint:
+            lines.append(f"    hint: {diag.hint}")
+    counts = summarize(diagnostics)
+    summary = (
+        f"{counts['error']} error(s), {counts['warning']} warning(s), "
+        f"{counts['info']} info"
+    )
+    if suppressed:
+        summary += f"; {suppressed} suppressed by baseline"
+    lines.append(summary)
+    return "\n".join(lines) + "\n"
+
+
+def render_json(
+    diagnostics: Sequence[Diagnostic],
+    suppressed: int = 0,
+) -> str:
+    """Schema-stable JSON: fixed top-level keys, sorted keys throughout.
+
+    ``sort_keys`` plus fixed separators make the output byte-identical
+    across runs and Python versions — determinism applies to the
+    analyzer too.
+    """
+    doc = {
+        "schema": JSON_SCHEMA_VERSION,
+        "diagnostics": [d.to_dict() for d in diagnostics],
+        "summary": summarize(diagnostics),
+        "suppressed": suppressed,
+    }
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"

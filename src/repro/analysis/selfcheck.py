@@ -1,0 +1,314 @@
+"""The self-hosted determinism linter: AST passes over our own source.
+
+PRs 1-3 made byte-identical determinism a load-bearing guarantee —
+journal replay, same-seed traces, chaos verdicts all compare runs
+byte-for-byte.  Every determinism bug fixed so far was one of four
+shapes, and each is mechanically detectable in the AST:
+
+* **RK201** — wall-clock reads (``time.time``, ``datetime.now``):
+  simulation code must only read ``env.now``;
+* **RK202** — module-level ``random.*`` calls: the shared global RNG is
+  unseeded cross-test state; use a seeded ``random.Random`` instance;
+* **RK203** — ``for``-iteration over a ``set``/``frozenset`` in the
+  netsim/installer hot paths: set order varies with hash seeding and
+  history, so anything order-sensitive (float accumulation, event
+  sequencing) silently diverges;
+* **RK204** — a telemetry span opened and discarded (``tracer.span(...)``
+  as a bare statement): it can never be closed, so it exports with
+  ``t1: null`` and poisons duration aggregates.
+
+The linter lints itself: ``repro lint --self`` runs these passes over
+``src/repro`` (including this package) against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional
+
+from .diagnostics import Diagnostic, SourceLocation, code_info
+from .passes import SELF_PASSES, register_self, run_passes
+
+__all__ = ["SelfLintContext", "analyze_self", "default_self_context"]
+
+
+_WALL_TIME_FUNCS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns",
+})
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+#: module-level random functions that consume the shared global RNG
+_GLOBAL_RANDOM_FUNCS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "seed", "getrandbits", "gauss", "betavariate",
+    "normalvariate", "expovariate", "triangular", "vonmisesvariate",
+    "paretovariate", "weibullvariate",
+})
+
+
+@dataclass
+class ParsedFile:
+    path: Path       # absolute
+    rel: str         # repo-relative, posix separators
+    tree: ast.AST
+    #: names bound to the time / datetime / random modules in this file
+    time_names: set[str] = field(default_factory=set)
+    datetime_names: set[str] = field(default_factory=set)
+    random_names: set[str] = field(default_factory=set)
+    #: direct from-imports: local name -> (module, original name)
+    from_imports: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+    def scan_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "time":
+                        self.time_names.add(bound)
+                    elif alias.name == "datetime":
+                        self.datetime_names.add(bound)
+                    elif alias.name == "random":
+                        self.random_names.add(bound)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    self.from_imports[bound] = (node.module, alias.name)
+
+
+@dataclass
+class SelfLintContext:
+    """What the determinism linter scans."""
+
+    package_root: Path                    # e.g. <repo>/src/repro
+    repo_root: Path                       # paths in diagnostics are relative to this
+    #: package subdirectories whose loops are determinism-critical
+    hot_paths: tuple[str, ...] = ("netsim", "installer")
+    _files: Optional[list[ParsedFile]] = None
+
+    @property
+    def files(self) -> list[ParsedFile]:
+        if self._files is None:
+            parsed = []
+            for path in sorted(self.package_root.rglob("*.py")):
+                text = path.read_text(encoding="utf-8")
+                try:
+                    tree = ast.parse(text, filename=str(path))
+                except SyntaxError:
+                    continue  # not our job; the test suite will scream
+                rel = path.relative_to(self.repo_root).as_posix()
+                pf = ParsedFile(path=path, rel=rel, tree=tree)
+                pf.scan_imports()
+                parsed.append(pf)
+            self._files = parsed
+        return self._files
+
+    def is_hot(self, pf: ParsedFile) -> bool:
+        rel_pkg = pf.path.relative_to(self.package_root)
+        return bool(rel_pkg.parts) and rel_pkg.parts[0] in self.hot_paths
+
+    def diag(self, code: str, message: str, pf: ParsedFile,
+             node: ast.AST, hint: str = "", **data) -> Diagnostic:
+        return Diagnostic(
+            code=code,
+            severity=code_info(code).severity,
+            message=message,
+            location=SourceLocation(
+                pf.rel, getattr(node, "lineno", 0),
+                getattr(node, "col_offset", -1) + 1,
+            ),
+            hint=hint,
+            data=data,
+        )
+
+
+def default_self_context() -> SelfLintContext:
+    """Lint the installed ``repro`` package (src layout assumed)."""
+    package_root = Path(__file__).resolve().parents[1]   # .../src/repro
+    repo_root = package_root.parents[1]                  # .../
+    return SelfLintContext(package_root=package_root, repo_root=repo_root)
+
+
+def analyze_self(ctx: SelfLintContext, select=None, ignore=None):
+    """Run every determinism pass; deterministic, sorted diagnostics."""
+    return run_passes(SELF_PASSES, ctx, select=select, ignore=ignore)
+
+
+# -- RK201: wall-clock reads -------------------------------------------------------
+
+
+@register_self("RK201")
+def check_wall_clock(ctx: SelfLintContext):
+    for pf in ctx.files:
+        for node in ast.walk(pf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            label = None
+            if isinstance(func, ast.Attribute):
+                base = func.value
+                if (isinstance(base, ast.Name)
+                        and base.id in pf.time_names
+                        and func.attr in _WALL_TIME_FUNCS):
+                    label = f"time.{func.attr}()"
+                elif (func.attr in _DATETIME_FUNCS
+                      and _is_datetime_base(base, pf)):
+                    label = f"datetime.{func.attr}()"
+            elif isinstance(func, ast.Name):
+                origin = pf.from_imports.get(func.id)
+                if origin == ("time", "time") or (
+                    origin is not None
+                    and origin[0] == "time"
+                    and origin[1] in _WALL_TIME_FUNCS
+                ):
+                    label = f"time.{origin[1]}()"
+            if label is not None:
+                yield ctx.diag(
+                    "RK201",
+                    f"wall-clock read {label} in simulation code",
+                    pf, node,
+                    hint="read env.now (simulated time) instead; wall time "
+                         "breaks byte-identical replay",
+                    call=label,
+                )
+
+
+def _is_datetime_base(base: ast.expr, pf: ParsedFile) -> bool:
+    """datetime.now() via `from datetime import datetime/date` or
+    datetime.datetime.now() via `import datetime`."""
+    if isinstance(base, ast.Name):
+        origin = pf.from_imports.get(base.id)
+        return origin is not None and origin[0] == "datetime" and \
+            origin[1] in ("datetime", "date")
+    if isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name):
+        return (base.value.id in pf.datetime_names
+                and base.attr in ("datetime", "date"))
+    return False
+
+
+# -- RK202: unseeded global RNG --------------------------------------------------
+
+
+@register_self("RK202")
+def check_global_random(ctx: SelfLintContext):
+    for pf in ctx.files:
+        for node in ast.walk(pf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in pf.random_names
+                    and func.attr in _GLOBAL_RANDOM_FUNCS):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                origin = pf.from_imports.get(func.id)
+                if (origin is not None and origin[0] == "random"
+                        and origin[1] in _GLOBAL_RANDOM_FUNCS):
+                    name = origin[1]
+            if name is not None:
+                yield ctx.diag(
+                    "RK202",
+                    f"random.{name}() uses the unseeded module-level RNG",
+                    pf, node,
+                    hint="construct a seeded random.Random(seed) and call "
+                         "the method on it",
+                    call=f"random.{name}",
+                )
+
+
+# -- RK203: set iteration in hot paths -------------------------------------------
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+def _scopes(tree: ast.AST) -> Iterator[ast.AST]:
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _scope_statements(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope without descending into nested function bodies."""
+    stack = list(getattr(scope, "body", []))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register_self("RK203")
+def check_set_iteration(ctx: SelfLintContext):
+    for pf in ctx.files:
+        if not ctx.is_hot(pf):
+            continue
+        for scope in _scopes(pf.tree):
+            set_names: set[str] = set()
+            for node in _scope_statements(scope):
+                if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            set_names.add(target.id)
+                elif (isinstance(node, ast.AnnAssign)
+                      and node.value is not None
+                      and _is_set_expr(node.value)
+                      and isinstance(node.target, ast.Name)):
+                    set_names.add(node.target.id)
+
+            def iter_exprs():
+                for node in _scope_statements(scope):
+                    if isinstance(node, (ast.For, ast.AsyncFor)):
+                        yield node.iter
+                    elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                           ast.DictComp, ast.GeneratorExp)):
+                        for gen in node.generators:
+                            yield gen.iter
+
+            for it in iter_exprs():
+                flagged = _is_set_expr(it) or (
+                    isinstance(it, ast.Name) and it.id in set_names
+                )
+                if flagged:
+                    what = (it.id if isinstance(it, ast.Name)
+                            else ast.unparse(it))
+                    yield ctx.diag(
+                        "RK203",
+                        f"iteration over unordered set {what!r} in a "
+                        f"hot path",
+                        pf, it,
+                        hint="use dict.fromkeys(...) (insertion-ordered "
+                             "set) or sorted(...) when order can reach "
+                             "floats, events, or telemetry",
+                        expr=what,
+                    )
+
+
+# -- RK204: leaked telemetry spans ----------------------------------------------
+
+
+@register_self("RK204")
+def check_leaked_spans(ctx: SelfLintContext):
+    for pf in ctx.files:
+        for node in ast.walk(pf.tree):
+            if (isinstance(node, ast.Expr)
+                    and isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Attribute)
+                    and node.value.func.attr == "span"):
+                yield ctx.diag(
+                    "RK204",
+                    "span opened and discarded: it can never be closed",
+                    pf, node,
+                    hint="bind it and call .end(), or use the context-"
+                         "manager form: `with tracer.span(...):`",
+                )

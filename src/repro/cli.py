@@ -115,19 +115,74 @@ def _cmd_graph(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_codes(value: Optional[str]) -> Optional[list[str]]:
+    if value is None:
+        return None
+    return [c.strip() for c in value.split(",") if c.strip()]
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
-    repo = Repository("rocks-dist")
-    repo.add_all(stock_redhat(arch=args.arch))
-    repo.add_all(community_packages(args.arch))
-    repo.add_all(npaci_packages())
-    gen = KickstartGenerator(default_graph(), default_node_files(), lambda d: repo)
-    problems = gen.lint("rocks-dist", arches=(args.arch,))
-    if problems:
-        for p in problems:
-            print(f"lint: {p}")
-        return 1
-    print("lint: XML infrastructure is consistent with the distribution")
-    return 0
+    from pathlib import Path
+
+    from .analysis import (
+        Baseline,
+        ConfigContext,
+        analyze_config,
+        analyze_self,
+        default_self_context,
+        render_json,
+        render_text,
+    )
+
+    select = _parse_codes(args.select)
+    ignore = _parse_codes(args.ignore)
+
+    if args.self:
+        ctx = default_self_context()
+        diagnostics = analyze_self(ctx, select=select, ignore=ignore)
+        default_baseline = ctx.repo_root / "lint-baseline.txt"
+    else:
+        arches = tuple(a.strip() for a in args.arch.split(",") if a.strip())
+        sources = [("stock-redhat", stock_redhat(arch=arches[0]))]
+        for arch in arches[1:]:
+            sources.append((f"stock-redhat-{arch}", stock_redhat(arch=arch)))
+        for arch in arches:
+            sources.append((f"community-{arch}", community_packages(arch)))
+        sources.append(("npaci", npaci_packages()))
+        repo = Repository("rocks-dist")
+        for _, src in sources:
+            repo.add_all(src)
+        ctx = ConfigContext(
+            graph=default_graph(),
+            node_files=default_node_files(),
+            dist_name="rocks-dist",
+            dist_resolver=lambda d: repo,
+            arches=arches,
+            sources=sources,
+        )
+        diagnostics = analyze_config(ctx, select=select, ignore=ignore)
+        default_baseline = Path("lint-baseline.txt")
+
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        baseline = Baseline.from_file(args.baseline or default_baseline)
+    diagnostics, suppressed = baseline.apply(diagnostics)
+
+    if args.format == "json":
+        sys.stdout.write(render_json(diagnostics, suppressed=len(suppressed)))
+    else:
+        if not diagnostics:
+            print(
+                "lint: src/repro is consistent with the determinism rules"
+                if args.self
+                else "lint: XML infrastructure is consistent with the "
+                     "distribution"
+            )
+        sys.stdout.write(render_text(diagnostics, suppressed=len(suppressed)))
+    errors = sum(1 for d in diagnostics if d.severity.value == "error")
+    failing = len(diagnostics) if args.strict else errors
+    return 1 if failing else 0
 
 
 def _cmd_reports(args: argparse.Namespace) -> int:
@@ -266,8 +321,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dot", action="store_true", help="GraphViz output (Fig. 4)")
     p.set_defaults(fn=_cmd_graph)
 
-    p = sub.add_parser("lint", help="validate the XML kickstart infrastructure")
-    p.add_argument("--arch", default="i386", choices=["i386", "athlon", "ia64"])
+    p = sub.add_parser(
+        "lint",
+        help="typed static analysis: XML config graph, or --self for the "
+             "determinism linter over repro's own source",
+    )
+    p.add_argument("--arch", default="i386",
+                   help="supported architecture(s), comma-separated "
+                        "(i386, athlon, ia64)")
+    p.add_argument("--format", default="text", choices=["text", "json"],
+                   help="diagnostic output format")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero on warnings too, not just errors")
+    p.add_argument("--select", default=None, metavar="CODES",
+                   help="only run/report these code prefixes (e.g. RK1,RK203)")
+    p.add_argument("--ignore", default=None, metavar="CODES",
+                   help="drop these code prefixes")
+    p.add_argument("--self", action="store_true",
+                   help="run the AST determinism linter over src/repro "
+                        "instead of the config analyzers")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="suppression baseline file "
+                        "(default: lint-baseline.txt)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore any suppression baseline")
     p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser(

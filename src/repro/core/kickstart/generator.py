@@ -173,46 +173,50 @@ class KickstartGenerator:
         self._cache[key] = profile
         return profile
 
-    def lint(self, dist_name: str, arches: tuple[str, ...] = ("i386",)) -> list[str]:
-        """Validate the whole XML infrastructure against a distribution.
+    def lint_diagnostics(
+        self, dist_name: str, arches: tuple[str, ...] = ("i386",)
+    ):
+        """Run the typed config analyzers (:mod:`repro.analysis`).
 
-        Returns human-readable problems: graph edges referencing missing
-        node files, node files no appliance reaches, and packages that do
-        not resolve for some architecture.  Site admins run this after
-        editing the XML (§6.1 footnote) and before reinstalling anything.
+        Returns sorted :class:`~repro.analysis.Diagnostic` objects for
+        every defect class the engine knows — dangling edges, orphans,
+        cycles, dead arch edges, duplicate declarations, unresolvable
+        packages with their chains, unknown database attributes, and
+        unknown distributions.  Site admins run this after editing the
+        XML (§6.1 footnote) and before reinstalling anything.
         """
+        from ...analysis import ConfigContext, analyze_config
+
         graph, node_files = self._xml_for(dist_name)
-        problems: list[str] = []
-        referenced = set(graph.nodes())
-        defined = set(node_files)
-        for missing in sorted(referenced - defined):
-            problems.append(f"graph references undefined node file {missing!r}")
-        roots = graph.roots()
-        reachable: set[str] = set()
-        for root in roots:
-            for arch in arches:
-                reachable.update(graph.traverse(root, arch))
-        for orphan in sorted(defined - reachable - set(roots)):
-            problems.append(f"node file {orphan!r} is not reachable from any appliance")
-        try:
-            repo = self.dist_resolver(dist_name)
-        except KeyError as err:
-            return problems + [str(err)]
-        for root in roots:
-            for arch in arches:
-                try:
-                    names = self.kickstart(root, arch, dist_name).packages
-                except GenerationError as err:
-                    problems.append(str(err))
-                    continue
-                for name in names:
-                    try:
-                        repo.latest(name, arch=arch)
-                    except Exception:
-                        problems.append(
-                            f"{root}/{arch}: package {name!r} not in {dist_name}"
-                        )
-        return problems
+        ctx = ConfigContext(
+            graph=graph,
+            node_files=node_files,
+            dist_name=dist_name,
+            dist_resolver=self.dist_resolver,
+            arches=tuple(arches),
+        )
+        return analyze_config(ctx)
+
+    #: diagnostic codes the legacy string API covered; the shim reports
+    #: exactly these so pre-engine callers see unchanged behaviour
+    _LEGACY_LINT_CODES = ("RK101", "RK102", "RK106", "RK110")
+
+    def lint(self, dist_name: str, arches: tuple[str, ...] = ("i386",)) -> list[str]:
+        """Back-compat shim: legacy flat strings over the typed engine.
+
+        Messages and ordering match the original linter (missing node
+        files, then orphans, then unresolvable packages, then an unknown
+        distribution last); new defect classes are only visible through
+        :meth:`lint_diagnostics` or ``repro lint``.
+        """
+        diags = [
+            d
+            for d in self.lint_diagnostics(dist_name, arches)
+            if d.code in self._LEGACY_LINT_CODES
+        ]
+        # Legacy order was by check, not by location: code order matches.
+        diags.sort(key=lambda d: (d.code, d.sort_key))
+        return [d.message for d in diags]
 
     def profile_for_row(self, row: NodeRow, db: ClusterDatabase) -> InstallProfile:
         """Per-node generation: appliance/arch/dist come from the database."""

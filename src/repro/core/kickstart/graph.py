@@ -47,13 +47,18 @@ class Graph:
 
     def __init__(self, name: str = "default"):
         self.name = name
+        # The list preserves declaration order (traversal is defined by
+        # it); the set is a pure duplicate index so add_edge is O(1)
+        # instead of scanning the list — O(n²) over a whole graph load.
         self._edges: list[Edge] = []
+        self._edge_index: set[Edge] = set()
 
     # -- construction -----------------------------------------------------------
     def add_edge(self, frm: str, to: str, archs: Optional[Iterable[str]] = None) -> None:
         arch_set = frozenset(archs) if archs is not None else None
         edge = Edge(frm, to, arch_set)
-        if edge not in self._edges:
+        if edge not in self._edge_index:
+            self._edge_index.add(edge)
             self._edges.append(edge)
 
     def remove_edge(self, frm: str, to: str) -> None:
@@ -61,6 +66,7 @@ class Graph:
         self._edges = [e for e in self._edges if not (e.frm == frm and e.to == to)]
         if len(self._edges) == before:
             raise GraphError(f"no edge {frm} -> {to}")
+        self._edge_index = set(self._edges)
 
     @property
     def edges(self) -> tuple[Edge, ...]:

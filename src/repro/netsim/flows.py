@@ -270,13 +270,16 @@ class FlowNetwork:
         # Progressive filling with incrementally-maintained per-link
         # unfrozen-flow counts: O(rounds * (flows + links)) instead of
         # recounting every link's flow set each round (which made large
-        # concurrent-reinstall runs cubic in cluster size).
+        # concurrent-reinstall runs cubic in cluster size).  All working
+        # collections are insertion-ordered dicts-as-sets, never hash
+        # sets: every iteration below happens in the same order on every
+        # run, so nothing downstream can pick up hash-seed jitter.
         rate = {f: 0.0 for f in active}
-        active_set = set(active)
-        unfrozen = set(active)
-        constrained = {
+        active_set = set(active)  # membership tests only, never iterated
+        unfrozen = dict.fromkeys(active)
+        constrained = dict.fromkeys(
             link for f in active for link in f.path if link.capacity is not None
-        }
+        )
         headroom = {link: float(link.capacity) for link in constrained}
         count = {
             link: sum(1 for f in link._flows if f in active_set)
@@ -286,7 +289,7 @@ class FlowNetwork:
         def freeze(flow: Flow) -> None:
             # A path is a set of resources: a link listed twice (loopback
             # quirk) still carries the flow once, matching Link._flows.
-            for link in set(flow.path):
+            for link in dict.fromkeys(flow.path):
                 if link in count:
                     count[link] -= 1
 
@@ -306,25 +309,25 @@ class FlowNetwork:
                     rate[f] = math.inf
                 break
             inc = max(inc, 0.0)
-            newly_frozen: set[Flow] = set()
+            newly_frozen: dict[Flow, None] = {}
             for f in unfrozen:
                 rate[f] += inc
                 if f.max_rate is not None and rate[f] >= f.max_rate - _EPS:
                     rate[f] = f.max_rate
-                    newly_frozen.add(f)
+                    newly_frozen[f] = None
             for link, n in count.items():
                 headroom[link] -= inc * n
                 if headroom[link] <= _EPS and n > 0:
                     for f in link._flows:
                         if f in unfrozen:
-                            newly_frozen.add(f)
+                            newly_frozen[f] = None
             if not newly_frozen:
                 # Numerical corner: freeze everything to guarantee progress.
-                newly_frozen = set(unfrozen)
+                newly_frozen = dict(unfrozen)
             for f in newly_frozen:
                 if f in unfrozen:
                     freeze(f)
-            unfrozen -= newly_frozen
+                    del unfrozen[f]
 
         for f in active:
             f.rate = rate[f]

@@ -1,0 +1,72 @@
+"""The extended `repro lint` CLI: formats, gating, selection, --self."""
+
+import json
+
+import pytest
+
+from repro.analysis import JSON_SCHEMA_VERSION
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_lint_default_clean(capsys):
+    code, out = run_cli(capsys, "lint")
+    assert code == 0
+    assert "0 error(s)" in out
+
+
+def test_lint_multi_arch_flag(capsys):
+    code, out = run_cli(capsys, "lint", "--arch", "i386,ia64")
+    assert code == 0
+
+
+def test_lint_self_clean_against_baseline(capsys):
+    code, out = run_cli(capsys, "lint", "--self")
+    assert code == 0
+    assert "0 error(s), 0 warning(s)" in out
+
+
+def test_lint_self_strict_also_clean(capsys):
+    code, _ = run_cli(capsys, "lint", "--self", "--strict", "--no-baseline")
+    assert code == 0
+
+
+def test_lint_json_schema(capsys):
+    code, out = run_cli(capsys, "lint", "--format", "json")
+    assert code == 0
+    doc = json.loads(out)
+    assert doc["schema"] == JSON_SCHEMA_VERSION
+    assert set(doc) == {"schema", "diagnostics", "summary", "suppressed"}
+    assert doc["summary"] == {"error": 0, "warning": 0, "info": 0}
+
+
+def test_lint_json_byte_identical_across_runs(capsys):
+    """Determinism applies to the analyzer too (satellite requirement)."""
+    _, first = run_cli(capsys, "lint", "--format", "json")
+    _, second = run_cli(capsys, "lint", "--format", "json")
+    assert first.encode() == second.encode()
+
+
+def test_lint_self_json_byte_identical_across_runs(capsys):
+    _, first = run_cli(capsys, "lint", "--self", "--format", "json")
+    _, second = run_cli(capsys, "lint", "--self", "--format", "json")
+    assert first.encode() == second.encode()
+
+
+def test_lint_select_and_ignore_flags(capsys):
+    code, _ = run_cli(capsys, "lint", "--select", "RK101,RK106")
+    assert code == 0
+    code, _ = run_cli(capsys, "lint", "--ignore", "RK1")
+    assert code == 0
+
+
+def test_lint_baseline_flag(tmp_path, capsys):
+    baseline = tmp_path / "b.txt"
+    baseline.write_text("RK101 nodes/ghost.xml  # testing\n")
+    code, out = run_cli(capsys, "lint", "--baseline", str(baseline))
+    assert code == 0

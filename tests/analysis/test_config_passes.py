@@ -1,0 +1,302 @@
+"""Config analyzers: each defect class planted and caught by exact code."""
+
+import pytest
+
+from repro.analysis import ConfigContext, analyze_config
+from repro.core.kickstart import NodeFile, default_graph, default_node_files
+from repro.rpm import Package, Repository, community_packages, npaci_packages, stock_redhat
+
+
+def full_repo(arches=("i386",)):
+    repo = Repository("rocks-dist")
+    for arch in arches:
+        repo.add_all(stock_redhat(arch=arch))
+        repo.add_all(community_packages(arch))
+    repo.add_all(npaci_packages())
+    return repo
+
+
+def make_ctx(extra_edges=(), extra_files=(), drop_files=(), arches=("i386",),
+             repo=None, sources=None, dist_resolver=None):
+    graph = default_graph()
+    for edge in extra_edges:
+        graph.add_edge(*edge)
+    files = default_node_files()
+    for nf in extra_files:
+        files[nf.name] = nf
+    for name in drop_files:
+        del files[name]
+    if repo is None:
+        repo = full_repo(arches)
+    return ConfigContext(
+        graph=graph,
+        node_files=files,
+        dist_name="rocks-dist",
+        dist_resolver=dist_resolver or (lambda d: repo),
+        arches=arches,
+        sources=sources,
+    )
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+# -- clean baseline ------------------------------------------------------------
+
+
+def test_default_set_is_clean():
+    assert analyze_config(make_ctx()) == []
+
+
+def test_default_set_clean_multi_arch():
+    assert analyze_config(make_ctx(arches=("i386", "ia64"))) == []
+
+
+# -- RK101: dangling edges ----------------------------------------------------
+
+
+def test_rk101_dangling_edge():
+    diags = analyze_config(make_ctx(extra_edges=[("compute", "ghost")]))
+    rk101 = [d for d in diags if d.code == "RK101"]
+    assert len(rk101) == 1
+    assert rk101[0].severity.value == "error"
+    assert "undefined node file 'ghost'" in rk101[0].message
+    assert "compute -> ghost" in rk101[0].hint
+    assert rk101[0].data["module"] == "ghost"
+
+
+# -- RK102: orphan modules ----------------------------------------------------
+
+
+def test_rk102_orphan_module():
+    orphan = NodeFile.from_xml(
+        "orphan", "<kickstart><package>wget</package></kickstart>"
+    )
+    diags = analyze_config(make_ctx(extra_files=[orphan]))
+    # wget is also declared by base, so the orphan triggers RK102 only
+    # (it is in no traversal, hence no RK105 duplicate).
+    assert codes(diags) == ["RK102"]
+    assert "'orphan' is not reachable" in diags[0].message
+
+
+# -- RK103: cycles -------------------------------------------------------------
+
+
+def test_rk103_cycle_reports_offending_path():
+    diags = analyze_config(make_ctx(extra_edges=[("c-development", "compute")]))
+    rk103 = [d for d in diags if d.code == "RK103"]
+    assert len(rk103) == 1
+    msg = rk103[0].message
+    assert "c-development" in msg and "compute" in msg and "mpi" in msg
+    assert rk103[0].data["cycle"]
+
+
+def test_rk103_self_loop():
+    diags = analyze_config(make_ctx(extra_edges=[("mpi", "mpi")]))
+    assert "RK103" in codes(diags)
+
+
+# -- RK104: dead arch edges ---------------------------------------------------
+
+
+def test_rk104_dead_arch_edge():
+    graph = default_graph()
+    graph.add_edge("compute", "myrinet2", archs=("mips",))
+    files = default_node_files()
+    files["myrinet2"] = NodeFile.from_xml("myrinet2", "<kickstart/>")
+    ctx = ConfigContext(graph=graph, node_files=files,
+                        dist_resolver=lambda d: full_repo(), arches=("i386",))
+    diags = analyze_config(ctx)
+    rk104 = [d for d in diags if d.code == "RK104"]
+    assert len(rk104) == 1
+    assert "mips" in rk104[0].message
+    # the mips-only module is also unreachable on i386
+    assert "RK102" in codes(diags)
+
+
+def test_rk104_quiet_when_arch_supported():
+    graph = default_graph()
+    graph.add_edge("compute", "base", archs=("ia64",))  # duplicate edge, new arch
+    ctx = ConfigContext(graph=graph, node_files=default_node_files(),
+                        dist_resolver=lambda d: full_repo(("i386", "ia64")),
+                        arches=("i386", "ia64"))
+    assert [d for d in analyze_config(ctx) if d.code == "RK104"] == []
+
+
+# -- RK105: duplicate package declarations ------------------------------------
+
+
+def test_rk105_duplicate_across_traversal():
+    dup = NodeFile.from_xml(
+        "site-extras", "<kickstart><package>wget</package></kickstart>"
+    )
+    diags = analyze_config(
+        make_ctx(extra_edges=[("compute", "site-extras")], extra_files=[dup])
+    )
+    rk105 = [d for d in diags if d.code == "RK105"]
+    assert rk105, codes(diags)
+    assert any(
+        d.data["package"] == "wget" and "base" in d.data["modules"]
+        and "site-extras" in d.data["modules"]
+        for d in rk105
+    )
+
+
+def test_rk105_duplicate_within_one_module():
+    dup = NodeFile.from_xml(
+        "dup", "<kickstart><package>zsh</package><package>zsh</package></kickstart>"
+    )
+    repo = full_repo()
+    repo.add(Package("zsh", "4.0"))
+    diags = analyze_config(
+        make_ctx(extra_edges=[("compute", "dup")], extra_files=[dup], repo=repo)
+    )
+    rk105 = [d for d in diags if d.code == "RK105"]
+    assert any(d.data["package"] == "zsh" for d in rk105)
+
+
+# -- RK106: unresolvable packages ---------------------------------------------
+
+
+def test_rk106_missing_package_carries_chain():
+    bad = NodeFile.from_xml(
+        "site-bad", "<kickstart><package>flux-capacitor</package></kickstart>"
+    )
+    diags = analyze_config(
+        make_ctx(extra_edges=[("compute", "site-bad")], extra_files=[bad])
+    )
+    rk106 = [d for d in diags if d.code == "RK106"]
+    assert rk106
+    d = rk106[0]
+    assert d.severity.value == "error"
+    assert "flux-capacitor" in d.message
+    assert "chain" in d.hint and "site-bad" in d.hint
+    assert d.data["module"] == "site-bad"
+    assert d.arch == "i386"
+
+
+def test_rk106_transitive_dependency_chain():
+    repo = full_repo()
+    repo.add(Package("needy", "1.0", requires=("no-such-lib",)))
+    nf = NodeFile.from_xml(
+        "site-needy", "<kickstart><package>needy</package></kickstart>"
+    )
+    diags = analyze_config(
+        make_ctx(extra_edges=[("compute", "site-needy")], extra_files=[nf],
+                 repo=repo)
+    )
+    rk106 = [d for d in diags if d.code == "RK106"]
+    assert any(
+        "requires no-such-lib" in d.message and "needy" in d.message
+        for d in rk106
+    )
+
+
+# -- RK107: unknown database attributes ---------------------------------------
+
+
+def test_rk107_unknown_attribute():
+    nf = NodeFile.from_xml(
+        "site-post",
+        "<kickstart><post>echo &amp;node.bogus; &gt; /etc/x</post></kickstart>",
+    )
+    diags = analyze_config(
+        make_ctx(extra_edges=[("compute", "site-post")], extra_files=[nf])
+    )
+    rk107 = [d for d in diags if d.code == "RK107"]
+    assert len(rk107) == 1
+    assert rk107[0].data["attribute"] == "node.bogus"
+    assert "no report generator provides" in rk107[0].message
+
+
+def test_rk107_known_attributes_pass():
+    nf = NodeFile.from_xml(
+        "site-post",
+        "<kickstart><post>echo &amp;node.ip; &amp;Kickstart_PrivateHostname;"
+        "</post></kickstart>",
+    )
+    diags = analyze_config(
+        make_ctx(extra_edges=[("compute", "site-post")], extra_files=[nf])
+    )
+    assert [d for d in diags if d.code == "RK107"] == []
+
+
+# -- RK108 / RK109: distribution composition ----------------------------------
+
+
+def test_rk108_local_override_shadowed_by_newer_upstream():
+    stock = Repository("stock")
+    stock.add(Package("ssh-keys", "2.0"))
+    local = Repository("local")
+    local.add(Package("ssh-keys", "1.0"))
+    repo = Repository("rocks-dist")
+    repo.add_all(full_repo())
+    repo.add_all(stock)
+    repo.add_all(local)
+    diags = analyze_config(
+        make_ctx(repo=repo,
+                 sources=[("stock", stock), ("site-local", local)])
+    )
+    rk108 = [d for d in diags if d.code == "RK108"]
+    assert len(rk108) == 1
+    d = rk108[0]
+    assert d.data["package"] == "ssh-keys"
+    assert d.data["source"] == "site-local"
+    assert "shadowed by newer" in d.message
+    assert "ssh-keys-2.0" in d.message
+
+
+def test_rk108_quiet_when_later_source_ties_or_wins():
+    stock = Repository("stock")
+    stock.add(Package("tool", "1.0"))
+    local = Repository("local")
+    local.add(Package("tool", "1.0"))   # tie: later source wins, by design
+    local.add(Package("newer", "2.0"))
+    diags = analyze_config(
+        make_ctx(sources=[("stock", stock), ("local", local)])
+    )
+    assert [d for d in diags if d.code == "RK108"] == []
+
+
+def test_rk109_empty_distribution():
+    diags = analyze_config(
+        make_ctx(sources=[("stock", Repository("stock"))])
+    )
+    rk109 = [d for d in diags if d.code == "RK109"]
+    assert len(rk109) == 1
+    assert rk109[0].severity.value == "error"
+    assert "is empty" in rk109[0].message
+
+
+# -- RK110: unknown distribution ----------------------------------------------
+
+
+def test_rk110_unknown_distribution():
+    def resolver(d):
+        raise KeyError(f"no dist {d}")
+
+    diags = analyze_config(make_ctx(dist_resolver=resolver))
+    rk110 = [d for d in diags if d.code == "RK110"]
+    assert len(rk110) == 1
+    assert "no dist rocks-dist" in rk110[0].message
+
+
+# -- cross-cutting -------------------------------------------------------------
+
+
+def test_diagnostics_sorted_and_deterministic():
+    ctx_args = dict(extra_edges=[("compute", "ghost"), ("c-development", "compute")])
+    first = analyze_config(make_ctx(**ctx_args))
+    second = analyze_config(make_ctx(**ctx_args))
+    assert [d.to_dict() for d in first] == [d.to_dict() for d in second]
+    assert [d.sort_key for d in first] == sorted(d.sort_key for d in first)
+
+
+def test_select_and_ignore_filter_passes():
+    ctx = make_ctx(extra_edges=[("compute", "ghost")])
+    only = analyze_config(ctx, select=["RK101"])
+    assert codes(only) == ["RK101"]
+    none = analyze_config(make_ctx(extra_edges=[("compute", "ghost")]),
+                          ignore=["RK10"])
+    assert codes(none) == []

@@ -1,0 +1,221 @@
+"""The AST determinism linter: planted hazards, clean forms, self-hosting."""
+
+import textwrap
+
+from repro.analysis import Baseline, SelfLintContext, analyze_self, default_self_context
+
+
+def make_ctx(tmp_path, files):
+    """Build a fake package tree: {relative path: source}."""
+    pkg = tmp_path / "src" / "pkg"
+    for rel, source in files.items():
+        path = pkg / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return SelfLintContext(package_root=pkg, repo_root=tmp_path)
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+# -- RK201: wall clock ---------------------------------------------------------
+
+
+def test_rk201_time_time(tmp_path):
+    ctx = make_ctx(tmp_path, {"a.py": """
+        import time
+        def stamp():
+            return time.time()
+    """})
+    diags = analyze_self(ctx)
+    assert codes(diags) == ["RK201"]
+    assert "time.time()" in diags[0].message
+    assert diags[0].location.file == "src/pkg/a.py"
+    assert diags[0].location.line == 4
+
+
+def test_rk201_datetime_now_variants(tmp_path):
+    ctx = make_ctx(tmp_path, {"a.py": """
+        import datetime
+        from datetime import datetime as dt
+        x = datetime.datetime.now()
+        y = dt.utcnow()
+    """})
+    assert codes(analyze_self(ctx)) == ["RK201", "RK201"]
+
+
+def test_rk201_from_import_and_alias(tmp_path):
+    ctx = make_ctx(tmp_path, {"a.py": """
+        from time import monotonic
+        import time as clock
+        a = monotonic()
+        b = clock.perf_counter()
+    """})
+    assert codes(analyze_self(ctx)) == ["RK201", "RK201"]
+
+
+def test_rk201_env_now_is_clean(tmp_path):
+    ctx = make_ctx(tmp_path, {"a.py": """
+        def stamp(env):
+            return env.now
+    """})
+    assert analyze_self(ctx) == []
+
+
+# -- RK202: unseeded global RNG ------------------------------------------------
+
+
+def test_rk202_module_level_random(tmp_path):
+    ctx = make_ctx(tmp_path, {"a.py": """
+        import random
+        jitter = random.random()
+        pick = random.choice([1, 2])
+    """})
+    diags = analyze_self(ctx)
+    assert codes(diags) == ["RK202", "RK202"]
+    assert "unseeded" in diags[0].message
+
+
+def test_rk202_from_import(tmp_path):
+    ctx = make_ctx(tmp_path, {"a.py": """
+        from random import randint
+        n = randint(0, 10)
+    """})
+    assert codes(analyze_self(ctx)) == ["RK202"]
+
+
+def test_rk202_seeded_instance_is_clean(tmp_path):
+    ctx = make_ctx(tmp_path, {"a.py": """
+        import random
+        rng = random.Random(42)
+        n = rng.randint(0, 10)
+    """})
+    assert analyze_self(ctx) == []
+
+
+# -- RK203: set iteration in hot paths ----------------------------------------
+
+
+def test_rk203_for_over_set_in_hot_path(tmp_path):
+    ctx = make_ctx(tmp_path, {"netsim/flows.py": """
+        def run(items):
+            for x in set(items):
+                print(x)
+    """})
+    diags = analyze_self(ctx)
+    assert codes(diags) == ["RK203"]
+    assert "hot path" in diags[0].message
+
+
+def test_rk203_tracked_name_and_comprehension(tmp_path):
+    ctx = make_ctx(tmp_path, {"installer/phases.py": """
+        def run(items):
+            pending = set(items)
+            total = sum(x.size for x in pending)
+            extra = {x for x in frozenset(items)}
+            return total, extra
+    """})
+    assert codes(analyze_self(ctx)) == ["RK203", "RK203"]
+
+
+def test_rk203_ignores_cold_paths_and_ordered_forms(tmp_path):
+    ctx = make_ctx(tmp_path, {
+        # same hazard outside a hot path: not flagged
+        "core/tools.py": """
+            def run(items):
+                for x in set(items):
+                    print(x)
+        """,
+        # ordered iteration forms in a hot path: clean
+        "netsim/engine.py": """
+            def run(items):
+                for x in sorted(set(items)):
+                    print(x)
+                for y in dict.fromkeys(items):
+                    print(y)
+                members = set(items)
+                if items[0] in members:   # membership only, never iterated
+                    return True
+        """,
+    })
+    assert analyze_self(ctx) == []
+
+
+# -- RK204: leaked spans -------------------------------------------------------
+
+
+def test_rk204_discarded_span(tmp_path):
+    ctx = make_ctx(tmp_path, {"a.py": """
+        def run(tracer):
+            tracer.span("install", "node-1")
+    """})
+    diags = analyze_self(ctx)
+    assert codes(diags) == ["RK204"]
+    assert "never be closed" in diags[0].message
+
+
+def test_rk204_bound_and_with_forms_are_clean(tmp_path):
+    ctx = make_ctx(tmp_path, {"a.py": """
+        def run(tracer):
+            span = tracer.span("install", "node-1")
+            span.end()
+            with tracer.span("phase", "dhcp"):
+                pass
+    """})
+    assert analyze_self(ctx) == []
+
+
+# -- cross-cutting -------------------------------------------------------------
+
+
+def test_diagnostics_deterministic_across_runs(tmp_path):
+    files = {"netsim/a.py": """
+        import time
+        def f(xs):
+            t = time.time()
+            for x in set(xs):
+                pass
+            return t
+    """}
+    first = analyze_self(make_ctx(tmp_path, files))
+    second = analyze_self(make_ctx(tmp_path, files))
+    assert [d.to_dict() for d in first] == [d.to_dict() for d in second]
+    assert codes(first) == ["RK201", "RK203"]
+
+
+def test_select_filters_self_passes(tmp_path):
+    ctx = make_ctx(tmp_path, {"netsim/a.py": """
+        import time
+        def f(xs):
+            t = time.time()
+            for x in set(xs):
+                pass
+    """})
+    assert codes(analyze_self(ctx, select=["RK203"])) == ["RK203"]
+
+
+def test_syntax_error_files_are_skipped(tmp_path):
+    ctx = make_ctx(tmp_path, {"bad.py": "def broken(:\n"})
+    assert analyze_self(ctx) == []
+
+
+# -- self-hosting: the acceptance gate ----------------------------------------
+
+
+def test_self_lint_clean_against_committed_baseline():
+    """src/repro passes its own determinism linter with the committed
+    baseline (currently empty: every surfaced hazard was fixed)."""
+    ctx = default_self_context()
+    diags = analyze_self(ctx)
+    baseline = Baseline.from_file(ctx.repo_root / "lint-baseline.txt")
+    kept, _suppressed = baseline.apply(diags)
+    assert kept == [], [d.render() for d in kept]
+
+
+def test_self_lint_scans_the_real_tree():
+    ctx = default_self_context()
+    files = {pf.rel for pf in ctx.files}
+    assert "src/repro/netsim/flows.py" in files
+    assert "src/repro/installer/anaconda.py" in files
+    assert "src/repro/analysis/selfcheck.py" in files  # lints itself

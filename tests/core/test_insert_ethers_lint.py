@@ -141,3 +141,72 @@ def test_lint_unknown_distribution():
     gen.dist_resolver = lambda d: (_ for _ in ()).throw(KeyError(f"no dist {d}"))
     problems = gen.lint("nonesuch")
     assert problems and "nonesuch" in problems[-1]
+
+
+# -- arch-conditional lint (the typed engine behind the shim) -----------------
+
+
+def make_multiarch_gen(extra_edges=(), extra_files=(), i386_only=()):
+    """A generator whose repo carries i386+ia64, plus i386-only extras."""
+    from repro.rpm import Package
+
+    repo = Repository("rocks-dist")
+    for arch in ("i386", "ia64"):
+        repo.add_all(stock_redhat(arch=arch))
+        repo.add_all(community_packages(arch))
+    repo.add_all(npaci_packages())
+    for name in i386_only:
+        repo.add(Package(name, "1.0", arch="i386"))
+    graph = default_graph()
+    for frm, to in extra_edges:
+        graph.add_edge(frm, to)
+    files = default_node_files()
+    for nf in extra_files:
+        files[nf.name] = nf
+    return KickstartGenerator(graph, files, lambda d: repo)
+
+
+def test_lint_clean_for_i386_but_broken_for_ia64_is_arch_tagged():
+    """A package that only exists as i386 lints clean for i386 and
+    produces arch-tagged RK106 diagnostics for ia64."""
+    nf = NodeFile.from_xml(
+        "site-x86tool", "<kickstart><package>x86tool</package></kickstart>"
+    )
+    gen = make_multiarch_gen(
+        extra_edges=[("compute", "site-x86tool")],
+        extra_files=[nf],
+        i386_only=["x86tool"],
+    )
+    assert gen.lint("rocks-dist", arches=("i386",)) == []
+
+    problems = gen.lint("rocks-dist", arches=("ia64",))
+    assert any("x86tool" in p and "ia64" in p for p in problems)
+
+    diags = gen.lint_diagnostics("rocks-dist", arches=("ia64",))
+    rk106 = [d for d in diags if d.code == "RK106"]
+    assert rk106
+    assert all(d.arch == "ia64" for d in rk106)
+    assert any(d.data.get("package") == "x86tool" for d in rk106)
+
+
+def test_lint_multi_arch_reports_only_broken_arch():
+    nf = NodeFile.from_xml(
+        "site-x86tool", "<kickstart><package>x86tool</package></kickstart>"
+    )
+    gen = make_multiarch_gen(
+        extra_edges=[("compute", "site-x86tool")],
+        extra_files=[nf],
+        i386_only=["x86tool"],
+    )
+    diags = gen.lint_diagnostics("rocks-dist", arches=("i386", "ia64"))
+    arch_tags = {d.arch for d in diags if d.code == "RK106"}
+    assert arch_tags == {"ia64"}
+
+
+def test_cli_lint_arch_ia64_default_set_clean(capsys):
+    """`repro lint --arch ia64` — the CLI path of the satellite check."""
+    from repro.cli import main
+
+    assert main(["lint", "--arch", "ia64"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out

@@ -91,6 +91,40 @@ def test_record_span_is_retrospective():
     assert (span.t0, span.t1) == (0.0, 3.0)
 
 
+def test_span_as_context_manager_ends_itself():
+    env = Environment()
+    tracer = Tracer()
+    tracer.attach(env)
+
+    def proc():
+        with tracer.span("install", "compute-0-0", rack=0):
+            yield env.timeout(7)
+
+    env.process(proc())
+    env.run()
+    (span,) = tracer.spans("install")
+    assert (span.t0, span.t1) == (0.0, 7.0)
+    assert span.attrs["outcome"] == "ok"
+
+
+def test_span_context_manager_records_error_outcome():
+    env = Environment()
+    tracer = Tracer()
+    tracer.attach(env)
+    with pytest.raises(RuntimeError):
+        with tracer.span("install", "compute-0-0"):
+            raise RuntimeError("boom")
+    (span,) = tracer.spans("install")
+    assert span.attrs["outcome"] == "error"
+
+
+def test_null_tracer_span_context_manager_is_noop():
+    with NULL_TRACER.span("install", "x") as span:
+        pass
+    assert NULL_TRACER.n_records == 0
+    assert span is not None
+
+
 # -- metrics ------------------------------------------------------------------
 
 def test_counter_and_adjust():
