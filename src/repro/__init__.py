@@ -21,6 +21,10 @@ The package layers, bottom to top:
 * :mod:`repro.telemetry` — structured tracing + metrics over the
   simulation (install-phase spans, link-utilization timeseries), off
   and zero-overhead by default;
+* :mod:`repro.monitoring` — the Ganglia-style stack (§2): gmond metric
+  agents on every machine, a gmetad aggregator with staleness
+  detection, round-robin time-series storage, declarative alerting,
+  and the cluster-top dashboard — opt-in and purely observational;
 * :mod:`repro.analysis` — typed diagnostics (stable ``RK*`` codes) with
   static analyzers over the XML kickstart infrastructure and a
   self-hosted AST determinism linter over this package, behind

@@ -238,6 +238,51 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from .faults import chaos_reinstall
+    from .monitoring import MonitoringOptions
+
+    options = MonitoringOptions(interval=args.interval)
+
+    def on_stack(stack) -> None:
+        if args.watch is not None:
+            stack.start_watch(period=args.watch)
+
+    result = chaos_reinstall(
+        n_nodes=args.nodes,
+        plan=args.plan,
+        seed=args.seed,
+        resilience=args.resilience,
+        monitoring=options,
+        on_monitoring=on_stack,
+    )
+    stack = result.monitoring
+    if args.xml:
+        print(stack.render_xml())
+    else:
+        print(stack.render_top())
+    if args.alerts:
+        engine = stack.engine
+        print()
+        if engine.alerts:
+            print(f"alerts fired ({len(engine.alerts)}):")
+            for alert in engine.alerts:
+                print(f"  {alert.render()}")
+        else:
+            print("no alerts fired")
+        if engine.cleared:
+            print(f"alerts cleared: {len(engine.cleared)}")
+    if args.export:
+        nbytes = stack.write(args.export)
+        print(f"\nwrote {nbytes} bytes of RRD export to {args.export}")
+    print(
+        f"\ncampaign: {result.n_nodes} nodes, "
+        f"{100 * result.completion_rate:.0f}% installed in "
+        f"{result.minutes:.2f} min under plan {result.plan.name!r}"
+    )
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .telemetry import (
         Tracer,
@@ -365,6 +410,36 @@ def build_parser() -> argparse.ArgumentParser:
                         "--plan frontend-crash --resilience and verifies the "
                         "recovered database is byte-identical")
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
+        "monitor",
+        help="reinstall campaign observed by the gmond/gmetad monitoring "
+             "stack: cluster-top, alerts, RRD export, Ganglia XML",
+    )
+    p.add_argument("--nodes", type=int, default=32)
+    from .faults import PLANS as _mon_plans
+
+    p.add_argument("--plan", default="none", choices=sorted(_mon_plans),
+                   help="fault plan to run the campaign under")
+    p.add_argument("--seed", type=int, default=None,
+                   help="re-seed the plan (default: the plan's own seed)")
+    p.add_argument("--interval", type=float, default=15.0,
+                   help="gmond sampling interval in simulated seconds")
+    p.add_argument("--watch", type=float, nargs="?", const=120.0, default=None,
+                   metavar="PERIOD",
+                   help="print cluster-top every PERIOD simulated seconds "
+                        "during the campaign (default 120)")
+    p.add_argument("--export", metavar="PATH", default=None,
+                   help="write the round-robin store + alerts as canonical "
+                        "JSON to this path")
+    p.add_argument("--alerts", action="store_true",
+                   help="print every alert the engine fired")
+    p.add_argument("--xml", action="store_true",
+                   help="print the Ganglia-style XML dump instead of "
+                        "cluster-top")
+    p.add_argument("--resilience", action="store_true",
+                   help="harden the frontend (supervisor+journal+breaker)")
+    p.set_defaults(fn=_cmd_monitor)
 
     p = sub.add_parser(
         "trace", help="run a scenario with telemetry; dump or summarize the trace"

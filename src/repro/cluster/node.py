@@ -107,6 +107,9 @@ class Machine:
         self.user_processes: list[str] = []
         #: live anaconda progress while INSTALLING (Figure 7 / eKV screen)
         self.install_progress: Optional[Any] = None
+        #: current installer phase name ("dhcp", "packages", ...) while
+        #: INSTALLING; None otherwise — what monitoring agents report
+        self.install_phase: Optional[str] = None
         self.install_driver: Optional[InstallDriver] = None
         self.install_count = 0
         self.last_install_report: Any = None

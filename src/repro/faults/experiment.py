@@ -32,6 +32,8 @@ class ChaosResult:
     injector: FaultInjector
     #: FrontendResilience handle when the run was hardened, else None.
     resilience: Optional[object] = None
+    #: MonitoringStack handle when the run was observed, else None.
+    monitoring: Optional[object] = None
 
     @property
     def minutes(self) -> float:
@@ -45,6 +47,8 @@ class ChaosResult:
         parts = [self.injector.render_log(), "", self.report.render()]
         if self.resilience is not None:
             parts += ["", self.resilience.render()]
+        if self.monitoring is not None:
+            parts += ["", self.monitoring.render_top()]
         return "\n".join(parts)
 
 
@@ -54,6 +58,8 @@ def chaos_reinstall(
     seed: Optional[int] = None,
     policy: Optional[EscalationPolicy] = None,
     resilience=None,
+    monitoring=None,
+    on_monitoring=None,
     **build_kwargs,
 ) -> ChaosResult:
     """Reinstall ``n_nodes`` concurrently while the plan's faults fire.
@@ -65,6 +71,11 @@ def chaos_reinstall(
     ``True`` for the default :class:`~repro.resilience.ResilienceOptions`
     or an options instance for custom knobs (required for plans that
     inject a ``FrontendCrash`` — an unhardened frontend stays down).
+    ``monitoring`` deploys the gmond/gmetad stack the same way: ``True``
+    for default :class:`~repro.monitoring.MonitoringOptions`, or an
+    options instance.  ``on_monitoring`` is called with the
+    :class:`~repro.monitoring.MonitoringStack` before the campaign runs
+    (the hook the CLI uses to start a live ``--watch`` dashboard).
     """
     if isinstance(plan, str):
         plan = named_plan(plan, seed)
@@ -82,6 +93,18 @@ def chaos_reinstall(
             else ResilienceOptions()
         )
         hardening = harden_frontend(sim.frontend, options)
+    stack = None
+    if monitoring:
+        from ..monitoring import MonitoringOptions, enable_cluster_monitoring
+
+        mon_options = (
+            monitoring
+            if isinstance(monitoring, MonitoringOptions)
+            else MonitoringOptions()
+        )
+        stack = enable_cluster_monitoring(sim.frontend, sim.nodes, mon_options)
+        if on_monitoring is not None:
+            on_monitoring(stack)
     injector = FaultInjector(plan).arm(sim.frontend, sim.nodes)
     campaign = ReinstallCampaign(sim.frontend, policy or EscalationPolicy())
     report = sim.env.run(until=campaign.run(sim.nodes))
@@ -91,4 +114,5 @@ def chaos_reinstall(
         report=report,
         injector=injector,
         resilience=hardening,
+        monitoring=stack,
     )

@@ -226,6 +226,20 @@ PLANS: dict[str, FaultPlan] = {
             NodeCrash(at=450.0, count=1),
         ),
     ),
+    # A monitoring shakedown: every alert family has a trigger — the
+    # crash flips svc.install (service-down), the hangs go dark
+    # (node-down), the degraded uplink stretches transfers while the
+    # mass install pegs it (link-saturated), and corruption keeps the
+    # retry machinery warm.
+    "chaos": FaultPlan(
+        "chaos",
+        (
+            ServerCrash(at=120.0, duration=45.0),
+            PackageCorruption(at=0.0, rate=0.05),
+            NodeHang(at=300.0, count=2),
+            LinkDegrade(at=400.0, factor=0.25, duration=180.0),
+        ),
+    ),
 }
 
 

@@ -223,6 +223,12 @@ class KickstartInstaller:
             if self.on_progress is not None:
                 self.on_progress(machine, line)
 
+        def enter(phase: str) -> float:
+            # Advertised on the machine so monitoring agents (and eKV)
+            # can report which phase an installation is sitting in.
+            machine.install_phase = phase
+            return env.now
+
         def mark(phase: str, t0: float) -> None:
             report.phase_seconds[phase] = (
                 report.phase_seconds.get(phase, 0.0) + env.now - t0
@@ -239,14 +245,14 @@ class KickstartInstaller:
         try:
             say("Red Hat Linux (C) 2000 Red Hat, Inc. -- Install System")
             # -- phase: DHCP -----------------------------------------------------
-            t0 = env.now
+            t0 = enter("dhcp")
             lease = yield from self._dhcp_loop(machine, say)
             machine.ip = lease.ip
             report.ip = lease.ip
             mark("dhcp", t0)
 
             # -- phase: kickstart fetch ------------------------------------------
-            t0 = env.now
+            t0 = enter("kickstart")
             resp = yield from fetch_with_retry(
                 env,
                 lambda: self.source.fetch_kickstart(machine.mac),
@@ -265,7 +271,7 @@ class KickstartInstaller:
             mark("kickstart", t0)
 
             # -- phase: hardware detection + partitioning ----------------------------
-            t0 = env.now
+            t0 = enter("partition")
             hw = probe(machine.spec)
             yield env.timeout(cal.hwdetect_seconds)
             say(f"loaded modules: {', '.join(hw.modules)}")
@@ -275,7 +281,7 @@ class KickstartInstaller:
             mark("partition", t0)
 
             # -- phase: package installation ---------------------------------------
-            t0 = env.now
+            t0 = enter("packages")
             machine.rpmdb.wipe()
             total = profile.n_packages
             total_bytes = profile.total_bytes
@@ -328,7 +334,7 @@ class KickstartInstaller:
             mark("packages", t0)
 
             # -- phase: post configuration ------------------------------------------
-            t0 = env.now
+            t0 = enter("post")
             for script in profile.post_scripts:
                 yield env.timeout(script.seconds / hw.relative_cpu_speed)
                 if script.action is not None:
@@ -339,7 +345,7 @@ class KickstartInstaller:
 
             # -- phase: Myrinet driver rebuild (first-boot, counted in total) ---------
             if hw.needs_myrinet_rebuild:
-                t0 = env.now
+                t0 = enter("myrinet")
                 yield env.timeout(self.myrinet.build_seconds(hw.relative_cpu_speed))
                 _pkg, module = self.myrinet.rebuild(
                     machine.kernel_version or "2.4.9-5",
@@ -367,6 +373,7 @@ class KickstartInstaller:
             say("installation aborted")
             raise
         finally:
+            machine.install_phase = None
             if tracer.enabled:
                 tracer.metrics.adjust("installs.concurrent", -1)
             if span is not None:

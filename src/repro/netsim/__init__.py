@@ -17,6 +17,7 @@ from .engine import (
     Timeout,
 )
 from .flows import Flow, FlowNetwork, Link, TransferAborted
+from .multicast import Datagram, MulticastGroup
 from .http import (
     DEFAULT_HTTP_EFFICIENCY,
     AdmissionConfig,
@@ -48,6 +49,8 @@ __all__ = [
     "FlowNetwork",
     "Link",
     "TransferAborted",
+    "Datagram",
+    "MulticastGroup",
     "AdmissionConfig",
     "HttpError",
     "HttpResponse",

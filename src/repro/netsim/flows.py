@@ -35,13 +35,17 @@ class Link:
     unconstrained (useful for switch backplanes we do not model).
     """
 
-    __slots__ = ("name", "capacity", "_flows")
+    __slots__ = ("name", "capacity", "bytes_carried", "_flows")
 
     def __init__(self, name: str, capacity: Optional[float]):
         if capacity is not None and capacity <= 0:
             raise ValueError(f"link capacity must be positive, got {capacity!r}")
         self.name = name
         self.capacity = capacity
+        #: cumulative payload bytes this link has carried (flows credit it
+        #: as they progress; multicast datagrams add their payload too) —
+        #: the per-NIC counter monitoring agents sample.
+        self.bytes_carried = 0.0
         # Insertion-ordered (dict-as-set): iteration order, and therefore
         # every float sum and event seq derived from it, is deterministic.
         self._flows: dict["Flow", None] = {}
@@ -60,7 +64,14 @@ class Link:
         """
         if self.capacity is None:
             return 0.0
-        used = sum(f.rate for f in self._flows if not math.isinf(f.rate))
+        # Explicit loop, no genexpr/isinf frames: monitoring agents call
+        # this for every NIC on every sample tick.
+        inf = math.inf
+        used = 0.0
+        for f in self._flows:
+            rate = f.rate
+            if rate != inf:
+                used += rate
         return min(used / self.capacity, 1.0)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -248,7 +259,11 @@ class FlowNetwork:
                 # left must not schedule another (zero-delay) wakeup.
                 if flow.remaining <= _EPS + flow.rate * 1e-9:
                     self._bytes_moved += flow.remaining
+                    moved += flow.remaining
                     flow.remaining = 0.0
+                if moved:
+                    for link in flow.path:
+                        link.bytes_carried += moved
             self._last_update = now
 
     def _reallocate(self) -> None:

@@ -195,6 +195,27 @@ class HttpServer:
         """Requests shed with a 503 by admission control (full or timed out)."""
         return self._rejected
 
+    @property
+    def queue_timeouts(self) -> int:
+        """Requests that gave up waiting in the accept queue."""
+        return self._queue_timeouts
+
+    def admission_stats(self) -> dict:
+        """The admission-control gauges as one snapshot dict.
+
+        This is the single source of truth the monitoring agents sample;
+        the keys mirror the ``http.*`` names in the telemetry metrics
+        registry so both views always agree.
+        """
+        return {
+            "in_flight": self._in_flight,
+            "queue_depth": len(self._accept_queue),
+            "rejected": self._rejected,
+            "queue_timeouts": self._queue_timeouts,
+            "requests_served": self._requests_served,
+            "bytes_served": self._bytes_served,
+        }
+
     def abort_transfers(self) -> None:
         """Reset every in-flight connection (the daemon was killed)."""
         for flow in self.network.flows.flows_through(self.service_link):
@@ -294,6 +315,7 @@ class HttpServer:
         env = self.network.env
         if self._in_flight < adm.max_concurrent and not self._accept_queue:
             self._in_flight += 1
+            self._gauge_in_flight()
             return
         if len(self._accept_queue) >= adm.queue_limit:
             self._shed(client, path, "queue-full")
@@ -363,6 +385,7 @@ class HttpServer:
             self._in_flight += 1
             promoted = True
             slot.succeed()
+        self._gauge_in_flight()
         if promoted:
             self._gauge_queue_depth()
 
@@ -374,8 +397,18 @@ class HttpServer:
         retry_after = adm.retry_after if adm is not None else None
         queued, self._accept_queue = list(self._accept_queue), deque()
         self._gauge_queue_depth()
+        tracer = self.network.env.tracer
         for slot in queued:
             self._rejected += 1
+            if tracer.enabled:
+                # Mirror _shed's accounting so the http.rejected counter,
+                # the http-reject event count, and self.rejected agree no
+                # matter which path shed the request.
+                tracer.metrics.inc(f"http.rejected/{self.host}")
+                tracer.event(
+                    "http-reject", "*", client="", server=self.host,
+                    cause=reason,
+                )
             slot.fail(
                 HttpError(
                     503,
@@ -390,6 +423,13 @@ class HttpServer:
         if tracer.enabled:
             tracer.metrics.gauge(
                 f"http.queue_depth/{self.host}", float(len(self._accept_queue))
+            )
+
+    def _gauge_in_flight(self) -> None:
+        tracer = self.network.env.tracer
+        if tracer.enabled:
+            tracer.metrics.gauge(
+                f"http.in_flight/{self.host}", float(self._in_flight)
             )
 
     @staticmethod

@@ -64,6 +64,21 @@ class Network:
         self.env = env
         self.flows = FlowNetwork(env)
         self._hosts: dict[str, Host] = {}
+        self._multicast_groups: dict[str, "MulticastGroup"] = {}
+
+    def multicast(self, address: str) -> "MulticastGroup":
+        """The segment's multicast group for ``address`` (created once).
+
+        Every caller asking for the same address shares one group, so a
+        publisher reaches all subscribers that joined via any reference.
+        """
+        group = self._multicast_groups.get(address)
+        if group is None:
+            from .multicast import MulticastGroup
+
+            group = MulticastGroup(self, address)
+            self._multicast_groups[address] = group
+        return group
 
     def attach(self, name: str, speed: float = FAST_ETHERNET) -> Host:
         """Attach a host to the segment; names must be unique."""

@@ -10,6 +10,16 @@ an administrator notices a node needs shoot-node in the first place.
 
 Monitoring is *opt-in* (daemons are perpetual processes) — call
 :func:`enable_monitoring` on a built cluster.
+
+Since the :mod:`repro.monitoring` subsystem landed, this module is the
+*legacy* path: when the full gmond/gmetad stack is enabled, the
+:class:`ClusterMonitor` should consume its heartbeats instead of
+running :class:`MonitorDaemon` loops of its own — one source of truth.
+Call :meth:`ClusterMonitor.attach_source` with a
+:class:`~repro.monitoring.MetricAggregator` (or pass ``source=`` to
+:func:`enable_monitoring`): every agent packet is translated into a
+legacy :class:`Metrics` heartbeat, and no daemons are spawned.  The
+daemon path remains as the fallback when monitoring is off.
 """
 
 from __future__ import annotations
@@ -49,11 +59,40 @@ class ClusterMonitor(Service):
         #: beats reports age == inf and shows up in down_hosts().
         self._expected: set[str] = set()
         self.heartbeats_received = 0
+        #: the MetricAggregator feeding us, when agent-fed (else None)
+        self.source = None
         self.start()
 
     def expect(self, host: str) -> None:
         """Register a host the monitor should account for."""
         self._expected.add(host)
+
+    def attach_source(self, aggregator) -> None:
+        """Feed this monitor from a gmond/gmetad aggregator.
+
+        Every :class:`~repro.monitoring.MetricPacket` the aggregator
+        accepts is translated into a legacy :class:`Metrics` heartbeat,
+        so ``age``/``down_hosts``/``report`` keep working against the
+        single agent-fed source of truth — no :class:`MonitorDaemon`
+        needed.  The aggregator only needs ``on_packet`` and packets
+        with ``metric``/``label`` accessors (duck-typed to keep this
+        module import-light).
+        """
+        self.source = aggregator
+        aggregator.on_packet.append(self._consume_packet)
+
+    def _consume_packet(self, packet) -> None:
+        self.publish(
+            Metrics(
+                host=packet.host,
+                time=packet.t,
+                state=packet.label("state"),
+                load=int(packet.metric("load")),
+                packages=int(packet.metric("packages")),
+                kernel=packet.label("kernel") or None,
+                install_count=int(packet.metric("installs")),
+            )
+        )
 
     def expect_hosts(self, hosts) -> None:
         self._expected.update(hosts)
@@ -134,10 +173,20 @@ class MonitorDaemon:
 
 
 def enable_monitoring(env: Environment, machines: list[Machine],
-                      heartbeat_seconds: float = 10.0) -> ClusterMonitor:
-    """Start a monitor and one daemon per machine; returns the aggregator."""
+                      heartbeat_seconds: float = 10.0,
+                      source=None) -> ClusterMonitor:
+    """Start a monitor; agent-fed when ``source`` is given, else daemons.
+
+    With ``source`` (a :class:`~repro.monitoring.MetricAggregator`) the
+    monitor consumes the gmond agents' heartbeats — the single source
+    of truth — and no legacy :class:`MonitorDaemon` loops are spawned.
+    Without it, the pre-monitoring behaviour is unchanged.
+    """
     monitor = ClusterMonitor(env, heartbeat_seconds=heartbeat_seconds)
     monitor.expect_hosts(m.hostid for m in machines)
-    for machine in machines:
-        MonitorDaemon(monitor, machine)
+    if source is not None:
+        monitor.attach_source(source)
+    else:
+        for machine in machines:
+            MonitorDaemon(monitor, machine)
     return monitor

@@ -21,11 +21,23 @@ LINK_UTIL_PREFIX = "link.util/"
 
 
 def percentile(values: list[float], q: float) -> float:
-    """Nearest-rank percentile (deterministic, no interpolation)."""
-    if not values:
-        return 0.0
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    Edge cases are exact and locked in by tests:
+
+    * ``q`` outside ``[0, 1]`` raises ``ValueError`` — even for an
+      empty series (the early 0.0 return used to mask e.g. a caller
+      passing 95 instead of 0.95);
+    * an **empty** series returns ``0.0`` for any valid ``q`` — there
+      is no data to rank, and summary tables render 0.0, not NaN;
+    * a **single-sample** series returns that sample for every valid
+      ``q`` (nearest-rank with n=1 clamps the rank to 1), so p50 and
+      p95 of one observation are both the observation itself.
+    """
     if not 0 <= q <= 1:
         raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    if not values:
+        return 0.0
     ordered = sorted(values)
     rank = max(int(math.ceil(q * len(ordered))), 1)
     return ordered[rank - 1]

@@ -25,7 +25,11 @@ Record taxonomy (the ``kind`` field; see :mod:`repro.telemetry.schema`):
   Retry-After; queue depth is the ``http.queue_depth/<host>`` gauge);
 * ``breaker`` — circuit-breaker state transitions (closed/open/half-open);
 * ``frontend-crash`` / ``journal-replay`` — a frontend crash and the
-  database-journal replay span that recovers from it.
+  database-journal replay span that recovers from it;
+* ``alert`` / ``alert-clear`` — typed alerts the monitoring
+  :class:`~repro.monitoring.AlertEngine` raises and clears (node-down,
+  install-stuck, http-shed, link-saturated, service-down), with
+  ``alerts.fired/<kind>`` counters alongside.
 """
 
 from __future__ import annotations

@@ -1,0 +1,115 @@
+"""Tests for the UDP multicast primitive (the gmond transport)."""
+
+import pytest
+
+from repro.netsim import Environment, MulticastGroup
+from repro.netsim.topology import Network
+
+
+@pytest.fixture
+def net():
+    env = Environment()
+    network = Network(env)
+    for name in ("fe", "n1", "n2"):
+        network.attach(name)
+    return env, network
+
+
+def _collector(log, tag):
+    def receive(src, payload, t):
+        log.append((tag, src, payload, t))
+    return receive
+
+
+def test_groups_are_cached_by_address(net):
+    _, network = net
+    group = network.multicast("239.2.11.71")
+    assert network.multicast("239.2.11.71") is group
+    assert network.multicast("other") is not group
+    assert isinstance(group, MulticastGroup)
+
+
+def test_delivery_to_all_up_subscribers(net):
+    env, network = net
+    group = network.multicast("g")
+    log = []
+    group.join("fe", _collector(log, "fe"))
+    group.join("n2", _collector(log, "n2"))
+    env.run(until=5.0)
+    assert group.send("n1", "hello") == 2
+    assert log == [("fe", "n1", "hello", 5.0), ("n2", "n1", "hello", 5.0)]
+    assert group.packets_sent == 1
+    assert group.packets_delivered == 2
+    assert group.packets_dropped == 0
+
+
+def test_sender_hears_its_own_group_without_rx_credit(net):
+    env, network = net
+    group = network.multicast("g")
+    log = []
+    group.join("n1", _collector(log, "n1"))
+    before = network.host("n1").rx.bytes_carried
+    assert group.send("n1", "self") == 1
+    assert [entry[1] for entry in log] == ["n1"]
+    # loopback delivery never crosses the NIC
+    assert network.host("n1").rx.bytes_carried == before
+
+
+def test_down_subscriber_is_silently_dropped(net):
+    env, network = net
+    group = network.multicast("g")
+    log = []
+    group.join("fe", _collector(log, "fe"))
+    group.join("n2", _collector(log, "n2"))
+    network.set_host_up("n2", False)
+    assert group.send("n1", "x") == 1
+    assert [entry[0] for entry in log] == ["fe"]
+    assert group.packets_dropped == 1
+    # and it hears again once the link returns (UDP needs no rejoin)
+    network.set_host_up("n2", True)
+    assert group.send("n1", "y") == 2
+
+
+def test_down_sender_reaches_nobody(net):
+    env, network = net
+    group = network.multicast("g")
+    log = []
+    group.join("fe", _collector(log, "fe"))
+    network.set_host_up("n1", False)
+    assert group.send("n1", "x") == 0
+    assert log == []
+    assert group.packets_dropped == 1
+
+
+def test_leave_stops_delivery(net):
+    env, network = net
+    group = network.multicast("g")
+    log = []
+    group.join("fe", _collector(log, "fe"))
+    assert group.n_subscribers == 1
+    group.leave("fe")
+    assert group.n_subscribers == 0
+    assert group.send("n1", "x") == 0
+
+
+def test_payload_bytes_credit_nic_counters(net):
+    env, network = net
+    group = network.multicast("g")
+    group.join("fe", lambda *a: None)
+    group.join("n2", lambda *a: None)
+    group.send("n1", "x", nbytes=128.0)
+    # sender tx credited once; each remote receiver rx credited once
+    assert network.host("n1").tx.bytes_carried == 128.0
+    assert network.host("fe").rx.bytes_carried == 128.0
+    assert network.host("n2").rx.bytes_carried == 128.0
+
+
+def test_delivery_is_synchronous_and_schedules_no_events(net):
+    env, network = net
+    group = network.multicast("g")
+    group.join("fe", lambda *a: None)
+    before = env.now
+    group.send("n1", "x")
+    # no timeout, no process: the event queue is untouched
+    assert env.now == before
+    assert env.peek() == float("inf")

@@ -192,3 +192,54 @@ def test_queue_depth_gauge_and_reject_counter():
     assert all(e["attrs"]["cause"] == "queue-full" for e in rejects)
     # everyone not shed was eventually served
     assert server.requests_served == 8 - server.rejected
+
+
+def test_admission_stats_snapshot():
+    """The first-class gauge view monitoring agents sample."""
+    env, server = make_http(n_clients=8)
+    server.configure_admission(
+        AdmissionConfig(max_concurrent=2, queue_limit=2, queue_timeout=120.0)
+    )
+    server.publish("/pkg", FAST_ETHERNET * 5)
+    stats = server.admission_stats()
+    assert stats == {
+        "in_flight": 0,
+        "queue_depth": 0,
+        "rejected": 0,
+        "queue_timeouts": 0,
+        "requests_served": 0,
+        "bytes_served": 0.0,
+    }
+    results = []
+    for i in range(8):
+        env.process(fetch(env, server, f"c{i}", "/pkg", results))
+    env.run(until=1.0)
+    mid = server.admission_stats()
+    assert mid["in_flight"] == 2
+    assert mid["queue_depth"] == 2
+    assert mid["rejected"] == 4
+    env.run()
+    done = server.admission_stats()
+    assert done["in_flight"] == 0 and done["queue_depth"] == 0
+    assert done["requests_served"] == 4
+    assert done["bytes_served"] == pytest.approx(FAST_ETHERNET * 5 * 4)
+    # the snapshot mirrors the first-class properties exactly
+    assert done["rejected"] == server.rejected
+    assert done["queue_timeouts"] == server.queue_timeouts
+
+
+def test_in_flight_gauge_tracks_grants_and_releases():
+    tracer = Tracer()
+    env, server = make_http(n_clients=4, tracer=tracer)
+    server.configure_admission(
+        AdmissionConfig(max_concurrent=2, queue_limit=4, queue_timeout=600.0)
+    )
+    server.publish("/pkg", FAST_ETHERNET * 5)
+    results = []
+    for i in range(4):
+        env.process(fetch(env, server, f"c{i}", "/pkg", results))
+    env.run()
+    assert server.requests_served == 4
+    samples = [v for _, v in tracer.metrics.samples("http.in_flight/www")]
+    assert max(samples) == 2  # the cap was reached...
+    assert samples[-1] == 0   # ...and fully released at the end

@@ -230,6 +230,28 @@ def test_percentile_nearest_rank():
         percentile(values, 50)
 
 
+def test_percentile_edge_cases_locked():
+    """The exact contract for degenerate series, locked byte-for-byte.
+
+    These are load-bearing for summary tables: a single install span
+    must report itself as both its p50 and p95, an empty series renders
+    0.0, and an out-of-range quantile always raises — the empty-list
+    early return must never mask e.g. ``q=95`` passed for ``q=0.95``.
+    """
+    # zero samples: 0.0 at every valid quantile, including the ends
+    for q in (0.0, 0.5, 0.95, 1.0):
+        assert percentile([], q) == 0.0
+    # one sample: that sample at every valid quantile
+    for q in (0.0, 0.5, 0.95, 1.0):
+        assert percentile([7.25], q) == 7.25
+    # out-of-range q raises even when the series is empty
+    for bad in (-0.01, 1.01, 95, -1):
+        with pytest.raises(ValueError):
+            percentile([], bad)
+        with pytest.raises(ValueError):
+            percentile([1.0], bad)
+
+
 def test_summarize_reports_phases_and_peaks():
     tracer = _small_trace()
     summary = summarize(tracer)
