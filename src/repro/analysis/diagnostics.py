@@ -163,6 +163,8 @@ CODES: dict[str, CodeInfo] = {
         CodeInfo("RK205", Severity.WARNING,
                  "metric series opened and discarded (never recorded or "
                  "flushed)"),
+        CodeInfo("RK206", Severity.WARNING,
+                 "unbounded queue construction in a load/netsim hot path"),
     ]
 }
 

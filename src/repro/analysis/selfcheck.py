@@ -19,7 +19,13 @@ shapes, and each is mechanically detectable in the AST:
 * **RK205** — a round-robin metric series opened and discarded
   (``store.open_series(...)`` as a bare statement): nothing holds the
   handle, so nothing records into it or closes it, and the monitoring
-  export carries a permanently empty (or never-flushed) series.
+  export carries a permanently empty (or never-flushed) series;
+* **RK206** — an unbounded queue constructed in the ``load``/``netsim``
+  packages (``deque()`` with no ``maxlen``, ``Queue()``/``SimpleQueue()``
+  with no size bound): open-loop load makes any unbounded buffer an
+  eventual memory-shaped outage, so storm-path queues must either carry
+  an explicit bound or a baseline entry justifying the invariant that
+  bounds them.
 
 The linter lints itself: ``repro lint --self`` runs these passes over
 ``src/repro`` (including this package) against the committed baseline.
@@ -316,6 +322,87 @@ def check_leaked_spans(ctx: SelfLintContext):
                     hint="bind it and call .end(), or use the context-"
                          "manager form: `with tracer.span(...):`",
                 )
+
+
+# -- RK206: unbounded queues on storm paths --------------------------------------
+
+#: packages (relative to the package root) where open-loop load can reach
+_QUEUE_HOT_PACKAGES = ("load", "netsim")
+
+
+def _in_queue_hot_package(ctx: SelfLintContext, pf: ParsedFile) -> bool:
+    rel_pkg = pf.path.relative_to(ctx.package_root)
+    return bool(rel_pkg.parts) and rel_pkg.parts[0] in _QUEUE_HOT_PACKAGES
+
+
+def _queue_call_name(node: ast.Call, pf: ParsedFile) -> Optional[str]:
+    """'deque' / 'Queue' / 'SimpleQueue' when ``node`` constructs one."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        origin = pf.from_imports.get(func.id)
+        if origin == ("collections", "deque"):
+            return "deque"
+        if origin is not None and origin[0] in ("queue", "asyncio") and \
+                origin[1] in ("Queue", "SimpleQueue", "LifoQueue",
+                              "PriorityQueue"):
+            return origin[1]
+        return None
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        if func.value.id == "collections" and func.attr == "deque":
+            return "deque"
+        if func.value.id in ("queue", "asyncio") and func.attr in (
+                "Queue", "SimpleQueue", "LifoQueue", "PriorityQueue"):
+            return func.attr
+    return None
+
+
+def _queue_is_bounded(name: str, node: ast.Call) -> bool:
+    if name == "SimpleQueue":
+        return False  # SimpleQueue has no bound at all
+    bound_kw = "maxlen" if name == "deque" else "maxsize"
+    for kw in node.keywords:
+        if kw.arg == bound_kw and not (
+            isinstance(kw.value, ast.Constant) and kw.value.value in (None, 0)
+        ):
+            return True
+    # deque's bound may also arrive as the second positional argument.
+    if name == "deque" and len(node.args) >= 2:
+        return True
+    if name != "deque" and node.args:
+        return not (isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value in (None, 0))
+    return False
+
+
+@register_self("RK206")
+def check_unbounded_queues(ctx: SelfLintContext):
+    """Queues on the open-loop load paths must carry an explicit bound.
+
+    An open-loop arrival process keeps producing no matter how slow the
+    consumer is; any unbounded buffer between the two converts overload
+    into unbounded memory growth instead of visible backpressure.  A
+    queue whose boundedness is enforced elsewhere (e.g. an accept queue
+    that is length-checked before every append) is suppressed via the
+    lint baseline, which doubles as an inventory of such invariants.
+    """
+    for pf in ctx.files:
+        if not _in_queue_hot_package(ctx, pf):
+            continue
+        for node in ast.walk(pf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _queue_call_name(node, pf)
+            if name is None or _queue_is_bounded(name, node):
+                continue
+            yield ctx.diag(
+                "RK206",
+                f"{name}() constructed without a bound on an open-loop "
+                f"load path",
+                pf, node,
+                hint="pass maxlen=/maxsize=, or add a baseline entry "
+                     "naming the invariant that bounds it",
+                queue=name,
+            )
 
 
 # -- RK205: leaked metric series ------------------------------------------------

@@ -238,6 +238,28 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_storm(args: argparse.Namespace) -> int:
+    from .load import StormOptions, run_storm
+
+    options = StormOptions(
+        n_nodes=args.nodes,
+        seed=args.seed,
+        autoscale=not args.no_autoscale,
+        dhcp_stagger=args.stagger,
+        deadline=args.deadline,
+    )
+    result = run_storm(options)
+    print(result.render())
+    if result.autoscaler is not None and result.scale_events:
+        print()
+        print(result.autoscaler.render_events())
+    if args.slo:
+        with open(args.slo, "w", encoding="utf-8") as fh:
+            fh.write(result.slo_json())
+        print(f"\nwrote SLO report to {args.slo}")
+    return 0 if result.stable else 1
+
+
 def _cmd_monitor(args: argparse.Namespace) -> int:
     from .faults import chaos_reinstall
     from .monitoring import MonitoringOptions
@@ -410,6 +432,25 @@ def build_parser() -> argparse.ArgumentParser:
                         "--plan frontend-crash --resilience and verifies the "
                         "recovered database is byte-identical")
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
+        "storm",
+        help="whole-site power-restore install storm: admission control, "
+             "circuit breakers, and gauge-driven autoscaling under the "
+             "thundering herd; exits nonzero if the cluster never stabilizes",
+    )
+    p.add_argument("--nodes", type=int, default=32)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--no-autoscale", action="store_true",
+                   help="run the single-frontend baseline (expect it to "
+                        "struggle at scale)")
+    p.add_argument("--stagger", type=float, default=45.0,
+                   help="max seeded per-node DHCP stagger after restore (s)")
+    p.add_argument("--deadline", type=float, default=4.0 * 3600.0,
+                   help="simulated seconds after restore before giving up")
+    p.add_argument("--slo", metavar="PATH", default=None,
+                   help="write the canonical SLO report JSON to this path")
+    p.set_defaults(fn=_cmd_storm)
 
     p = sub.add_parser(
         "monitor",

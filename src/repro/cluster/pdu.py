@@ -57,6 +57,10 @@ class PowerDistributionUnit:
         except KeyError:
             raise OutletError(f"outlet {outlet} on {self.name} is not wired") from None
 
+    def outlets(self) -> list[tuple[int, Machine]]:
+        """Wired outlets in deterministic (outlet-number) order."""
+        return sorted(self._outlets.items())
+
     def outlet_of(self, machine: Machine) -> Optional[int]:
         for outlet, m in self._outlets.items():
             if m is machine:

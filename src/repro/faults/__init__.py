@@ -25,9 +25,11 @@ from .plan import (
     NodeCrash,
     NodeHang,
     PackageCorruption,
+    PowerRestore,
     ServerCrash,
     ServiceFlap,
     ServiceOutage,
+    SitePowerFailure,
     named_plan,
 )
 
@@ -47,8 +49,10 @@ __all__ = [
     "NodeCrash",
     "NodeHang",
     "PackageCorruption",
+    "PowerRestore",
     "ServerCrash",
     "ServiceFlap",
     "ServiceOutage",
+    "SitePowerFailure",
     "named_plan",
 ]

@@ -21,7 +21,7 @@ import random
 from dataclasses import dataclass
 from typing import Generator, Optional, Sequence
 
-from ..cluster import Machine
+from ..cluster import Machine, PowerState
 from ..core.frontend import RocksFrontend
 from .plan import (
     FRONTEND,
@@ -33,8 +33,10 @@ from .plan import (
     NodeCrash,
     NodeHang,
     PackageCorruption,
+    PowerRestore,
     ServiceFlap,
     ServiceOutage,
+    SitePowerFailure,
 )
 
 __all__ = ["InjectionRecord", "FaultInjector"]
@@ -132,6 +134,10 @@ class FaultInjector:
             yield from self._deliver_flap(env, frontend, targets, fault)
         elif isinstance(fault, (NodeHang, NodeCrash)):
             self._deliver_node_fault(env, targets, fault, rng)
+        elif isinstance(fault, SitePowerFailure):
+            self._deliver_site_power(env, frontend, restore=False)
+        elif isinstance(fault, PowerRestore):
+            self._deliver_site_power(env, frontend, restore=True)
         else:  # pragma: no cover - new fault types must be wired here
             raise TypeError(f"no delivery for fault type {type(fault).__name__}")
 
@@ -236,6 +242,31 @@ class FaultInjector:
             else:
                 machine.power_off(hard=True)
                 self._record(env, "node-crash", machine.hostid, "power lost")
+
+    def _deliver_site_power(self, env, frontend, restore: bool) -> None:
+        """Drop (or re-energize) every PDU outlet in the machine room.
+
+        The frontend machine is skipped: it is assumed to be on UPS
+        power, as it hosts the very services (dhcpd/httpd/database)
+        that recovery depends on.  Machines are walked in cabinet/outlet
+        order, so the herd is deterministic.
+        """
+        affected = 0
+        for cabinet in frontend.cluster.cabinets:
+            for outlet, machine in cabinet.pdu.outlets():
+                if machine is frontend.machine:
+                    continue
+                powered = machine.power is PowerState.ON
+                if restore and not powered:
+                    cabinet.pdu.power_on(outlet)
+                    affected += 1
+                elif not restore and powered:
+                    cabinet.pdu.power_off(outlet)
+                    affected += 1
+        kind = "power-restore" if restore else "site-power-failure"
+        detail = (f"{affected} nodes re-energized" if restore
+                  else f"{affected} nodes lost power")
+        self._record(env, kind, "site", detail)
 
     def _install_corruption_hook(
         self,

@@ -33,6 +33,8 @@ __all__ = [
     "LinkFlap",
     "NodeHang",
     "NodeCrash",
+    "SitePowerFailure",
+    "PowerRestore",
     "PackageCorruption",
     "FaultPlan",
     "PLANS",
@@ -148,6 +150,29 @@ class NodeCrash(Fault):
 
 
 @dataclass(frozen=True)
+class SitePowerFailure(Fault):
+    """Every PDU in the machine room drops at once: the whole-site power
+    event the CERN and LCG-1 operations reports open with.
+
+    All compute nodes lose power hard (forcing a reinstall on restore);
+    the frontend is assumed to ride through on its UPS — it hosts the
+    services recovery depends on, and the paper's frontend is exactly
+    the box a site protects first.
+    """
+
+
+@dataclass(frozen=True)
+class PowerRestore(Fault):
+    """Utility power returns and every PDU re-energizes simultaneously.
+
+    Every node that a :class:`SitePowerFailure` (or anything else) left
+    dark powers on in the same instant — the thundering herd of DHCP
+    discovers and kickstart/package fetches the storm driver exists to
+    study.
+    """
+
+
+@dataclass(frozen=True)
 class PackageCorruption(Fault):
     """Each fetched RPM payload is corrupted with probability ``rate``.
 
@@ -224,6 +249,15 @@ PLANS: dict[str, FaultPlan] = {
             LinkFlap(at=200.0, flaps=3),
             NodeHang(at=300.0, count=2),
             NodeCrash(at=450.0, count=1),
+        ),
+    ),
+    # The whole-site power event: lights out at t=60, utility power back
+    # five minutes later, every node rebooting into a reinstall at once.
+    "power-restore": FaultPlan(
+        "power-restore",
+        (
+            SitePowerFailure(at=60.0),
+            PowerRestore(at=360.0),
         ),
     ),
     # A monitoring shakedown: every alert family has a trigger — the

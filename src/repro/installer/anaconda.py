@@ -25,6 +25,7 @@ remotely visible (Figure 7).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Optional
 
@@ -391,6 +392,14 @@ class KickstartInstaller:
         diagnosis) instead of an install that spins forever.
         """
         env = machine.env
+        if self.cal.dhcp_stagger_seconds > 0:
+            # Per-MAC seeded stagger, drawn from a dedicated RNG so the
+            # machine's own stream (POST jitter) is untouched: nodes
+            # restored in the same instant desynchronize deterministically.
+            stagger_rng = random.Random(("dhcp-stagger", machine.mac).__repr__())
+            yield env.timeout(
+                stagger_rng.uniform(0.0, self.cal.dhcp_stagger_seconds)
+            )
         attempt = 0
         while True:
             yield env.timeout(self.cal.dhcp_seconds)

@@ -36,6 +36,10 @@ class InstallCalibration:
     dhcp_seconds: float = 4.0
     #: retry interval while the node is not yet in the database
     dhcp_retry_seconds: float = 10.0
+    #: max seeded per-node delay before the first DISCOVER (0 = none);
+    #: desynchronizes the thundering herd after a whole-site power
+    #: restore, when every node's firmware releases at the same instant
+    dhcp_stagger_seconds: float = 0.0
     #: hardware probe (disk controller, NICs) and module loading
     hwdetect_seconds: float = 18.0
     #: mkfs on the root filesystem and swap

@@ -1,0 +1,138 @@
+"""Seeded open-loop arrival processes.
+
+An *open-loop* load model issues requests on its own schedule, ignoring
+how the server is coping — the property that distinguishes a real
+client population (nodes rebooting after a power event, browsers
+refreshing a status page) from the closed-loop benchmark clients that
+politely wait for each response.  Under overload, open-loop arrivals
+keep coming; that is what makes admission control and autoscaling
+load-bearing rather than decorative.
+
+Each process is a frozen dataclass; :meth:`ArrivalProcess.times`
+materialises the whole schedule as a sorted list of offsets in
+``[0, duration)``.  Generation uses Lewis–Shedler thinning against the
+process's peak rate, so a non-homogeneous rate function (diurnal,
+flash-crowd) needs no inversion — and every draw flows from ``seed``,
+so the same process always produces the identical schedule.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+__all__ = ["ArrivalProcess", "Poisson", "Diurnal", "FlashCrowd"]
+
+
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """Base class: a seeded arrival schedule over ``[0, duration)``.
+
+    ``rate`` is events/second (the constant rate for :class:`Poisson`,
+    the peak for the shaped subclasses).  ``max_events`` bounds the
+    materialised schedule — a mis-parameterised process degrades into a
+    truncated schedule, never an unbounded list.
+    """
+
+    rate: float = 1.0
+    duration: float = 60.0
+    seed: int = 0
+    max_events: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.max_events < 1:
+            raise ValueError("max_events must be at least 1")
+
+    # -- the shape, overridden by subclasses -------------------------------
+    def rate_at(self, t: float) -> float:
+        """Instantaneous rate at offset ``t`` (events/second)."""
+        return self.rate
+
+    def peak_rate(self) -> float:
+        """An upper bound on :meth:`rate_at` over the whole duration."""
+        return self.rate
+
+    # -- schedule generation ----------------------------------------------
+    def times(self) -> list[float]:
+        """The arrival offsets, sorted ascending, deterministic in seed."""
+        rng = random.Random(
+            (type(self).__name__, self.seed, self.rate, self.duration).__repr__()
+        )
+        peak = self.peak_rate()
+        out: list[float] = []
+        t = 0.0
+        while len(out) < self.max_events:
+            t += rng.expovariate(peak)
+            if t >= self.duration:
+                break
+            # Thinning: accept with probability rate_at(t)/peak.
+            if rng.random() * peak <= self.rate_at(t):
+                out.append(t)
+        return out
+
+    def describe(self) -> str:
+        return (
+            f"{type(self).__name__}(rate={self.rate:g}/s, "
+            f"duration={self.duration:g}s, seed={self.seed})"
+        )
+
+
+@dataclass(frozen=True)
+class Poisson(ArrivalProcess):
+    """Memoryless arrivals at a constant rate — the null hypothesis."""
+
+
+@dataclass(frozen=True)
+class Diurnal(ArrivalProcess):
+    """A day-night cycle: rate peaks at ``rate``, bottoms out at
+    ``trough_frac * rate``, following a raised cosine of ``period``.
+
+    The phase starts at the trough (t=0 is the quiet of the night), so
+    a schedule shorter than half a period is a pure ramp-up.
+    """
+
+    period: float = 86_400.0
+    trough_frac: float = 0.2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if not 0 <= self.trough_frac <= 1:
+            raise ValueError("trough_frac must be in [0, 1]")
+
+    def rate_at(self, t: float) -> float:
+        swing = 0.5 * (1.0 - math.cos(2.0 * math.pi * t / self.period))
+        return self.rate * (self.trough_frac + (1.0 - self.trough_frac) * swing)
+
+
+@dataclass(frozen=True)
+class FlashCrowd(ArrivalProcess):
+    """A baseline trickle with a rectangular burst — the slashdotting.
+
+    Outside ``[burst_at, burst_at + burst_duration)`` arrivals trickle
+    at ``base_frac * rate``; inside, they arrive at the full ``rate``.
+    This is also the profile of a power-restore herd seen from the
+    install server: near-silence, then everyone at once.
+    """
+
+    base_frac: float = 0.1
+    burst_at: float = 0.0
+    burst_duration: float = 30.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0 <= self.base_frac <= 1:
+            raise ValueError("base_frac must be in [0, 1]")
+        if self.burst_at < 0 or self.burst_duration <= 0:
+            raise ValueError("burst window must be non-negative/positive")
+
+    def rate_at(self, t: float) -> float:
+        if self.burst_at <= t < self.burst_at + self.burst_duration:
+            return self.rate
+        return self.rate * self.base_frac

@@ -72,6 +72,7 @@ def frontend_sampler(frontend) -> Callable:
         metrics["http.in_flight"] = float(stats["in_flight"])
         metrics["http.queue_depth"] = float(stats["queue_depth"])
         metrics["http.rejected"] = float(stats["rejected"])
+        metrics["http.queue_timeouts"] = float(stats["queue_timeouts"])
         metrics["http.requests"] = float(stats["requests_served"])
         metrics["http.bytes"] = float(stats["bytes_served"])
         metrics["jobs.queued"] = float(len(frontend.pbs.qstat(JobState.QUEUED)))

@@ -17,7 +17,7 @@ Replicated servers plus :class:`LoadBalancer` model the paper's
 
 from __future__ import annotations
 
-import itertools
+import random
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
@@ -70,12 +70,21 @@ class AdmissionConfig:
     wait in a FIFO accept queue of at most ``queue_limit`` entries for up
     to ``queue_timeout`` seconds.  Requests shed from a full queue (or
     timed out waiting) get a 503 whose Retry-After is ``retry_after``.
+
+    ``retry_jitter`` spreads the hint: each shed response advertises a
+    Retry-After drawn uniformly from ``[retry_after, retry_after *
+    (1 + retry_jitter)]`` using a per-server RNG seeded from
+    ``jitter_seed`` and the host name.  Without it, a thundering herd
+    shed in the same tick retries in the same tick — and is shed again,
+    forever in lockstep.  Zero (the default) keeps the fixed hint.
     """
 
     max_concurrent: int
     queue_limit: int = 16
     queue_timeout: float = 30.0
     retry_after: float = 15.0
+    retry_jitter: float = 0.0
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_concurrent < 1:
@@ -86,6 +95,8 @@ class AdmissionConfig:
             raise ValueError("queue_timeout must be positive")
         if self.retry_after < 0:
             raise ValueError("retry_after must be non-negative")
+        if self.retry_jitter < 0:
+            raise ValueError("retry_jitter must be non-negative")
 
 
 @dataclass
@@ -137,6 +148,7 @@ class HttpServer:
         self._accept_queue: deque[Event] = deque()
         self._rejected = 0
         self._queue_timeouts = 0
+        self._retry_rng: Optional[random.Random] = None
 
     # -- content management ----------------------------------------------
     def publish(self, path: str, size: float) -> None:
@@ -155,6 +167,10 @@ class HttpServer:
     def register_cgi(self, path: str, handler: CgiHandler) -> None:
         """Mount a CGI script (e.g. the kickstart generator) at ``path``."""
         self._cgi[self._norm(path)] = handler
+
+    def cgi_mounts(self) -> dict[str, CgiHandler]:
+        """Snapshot of mounted CGI handlers (for cloning onto replicas)."""
+        return dict(self._cgi)
 
     def has_document(self, path: str) -> bool:
         return self._norm(path) in self._documents
@@ -181,6 +197,12 @@ class HttpServer:
         if self._accept_queue:
             raise RuntimeError("cannot reconfigure admission with queued requests")
         self.admission = config
+        if config is not None and config.retry_jitter > 0:
+            self._retry_rng = random.Random(
+                ("retry-after", self.host, config.jitter_seed).__repr__()
+            )
+        else:
+            self._retry_rng = None
 
     @property
     def in_flight(self) -> int:
@@ -351,8 +373,22 @@ class HttpServer:
         # Granted: the releaser already counted this request in-flight.
         env.cancel(timer)
 
-    def _shed(self, client: str, path: str, cause: str) -> None:
+    def _retry_hint(self) -> Optional[float]:
+        """The Retry-After this shed response advertises (jittered).
+
+        Each call draws fresh jitter, so simultaneous victims of one
+        overload spike are told different comeback times and their
+        retries arrive desynchronized.
+        """
         adm = self.admission
+        if adm is None:
+            return None
+        hint = adm.retry_after
+        if self._retry_rng is not None:
+            hint *= 1.0 + adm.retry_jitter * self._retry_rng.random()
+        return hint
+
+    def _shed(self, client: str, path: str, cause: str) -> None:
         self._rejected += 1
         tracer = self.network.env.tracer
         if tracer.enabled:
@@ -367,7 +403,7 @@ class HttpServer:
         raise HttpError(
             503,
             f"server {self.host} at capacity ({cause})",
-            retry_after=adm.retry_after,
+            retry_after=self._retry_hint(),
             server=self.host,
         )
 
@@ -393,8 +429,6 @@ class HttpServer:
         """Fail every queued request (the daemon died while they waited)."""
         if not self._accept_queue:
             return
-        adm = self.admission
-        retry_after = adm.retry_after if adm is not None else None
         queued, self._accept_queue = list(self._accept_queue), deque()
         self._gauge_queue_depth()
         tracer = self.network.env.tracer
@@ -413,7 +447,7 @@ class HttpServer:
                 HttpError(
                     503,
                     f"server {self.host} {reason}",
-                    retry_after=retry_after,
+                    retry_after=self._retry_hint(),
                     server=self.host,
                 )
             )
@@ -443,16 +477,60 @@ class LoadBalancer:
     The paper notes replicating the install web server is trivial because
     serving RPMs is strictly read-only; this class provides the client-side
     view of N replicas behind one name.
+
+    Membership is dynamic: an autoscaler may :meth:`add_backend` and
+    :meth:`remove_backend` replicas while requests are in flight.  The
+    rotation pointer is index-based (not a frozen cycle) and advances
+    exactly once per request, so backends that are down, unreachable, or
+    vetoed by the avoidance hook are *skipped deterministically* — a
+    skip neither consumes a failover attempt nor perturbs which backend
+    the next request starts from.
     """
 
     def __init__(self, servers: list[HttpServer]):
         if not servers:
             raise ValueError("load balancer needs at least one backend")
         self.servers = list(servers)
-        self._rr = itertools.cycle(range(len(self.servers)))
+        self._rr_next = 0
         #: Optional predicate consulted before dispatch; a circuit breaker
         #: plugs in here to keep requests off backends it has opened on.
         self.should_avoid: Optional[Callable[[HttpServer], bool]] = None
+        #: requests actually dispatched to a backend (skips excluded)
+        self.dispatches = 0
+        #: backends passed over pre-dispatch (down/unreachable/avoided)
+        self.skips = 0
+
+    # -- membership --------------------------------------------------------
+    def add_backend(self, server: HttpServer) -> None:
+        """Put a (replica) server into the rotation."""
+        if server in self.servers:
+            raise ValueError(f"backend {server.host} already registered")
+        self.servers.append(server)
+
+    def remove_backend(self, server: HttpServer) -> None:
+        """Drop a server from the rotation; in-flight requests finish.
+
+        The rotation pointer is re-anchored so the remaining backends
+        keep their relative order — removal never skips or double-serves
+        a backend.
+        """
+        try:
+            idx = self.servers.index(server)
+        except ValueError:
+            raise ValueError(f"backend {server.host} not registered") from None
+        if len(self.servers) == 1:
+            raise ValueError("cannot remove the last backend")
+        del self.servers[idx]
+        if idx < self._rr_next:
+            self._rr_next -= 1
+        self._rr_next %= len(self.servers)
+
+    def _rotation(self) -> list[HttpServer]:
+        """This request's candidate order; advances the pointer by one."""
+        n = len(self.servers)
+        start = self._rr_next % n
+        self._rr_next = (start + 1) % n
+        return [self.servers[(start + k) % n] for k in range(n)]
 
     def get(
         self, client: str, path: str, max_rate: Optional[float] = None
@@ -467,15 +545,18 @@ class LoadBalancer:
     def _do_get(self, client: str, path: str, max_rate: Optional[float]):
         last_error: Optional[HttpError] = None
         avoided = 0
-        for _ in range(len(self.servers)):
-            server = self.servers[next(self._rr)]
+        for server in self._rotation():
             if not server.running:
+                self.skips += 1
                 continue
             if not server.network.reachable(server.host, client):
+                self.skips += 1
                 continue
             if self.should_avoid is not None and self.should_avoid(server):
                 avoided += 1
+                self.skips += 1
                 continue
+            self.dispatches += 1
             request = server.get(client, path, max_rate=max_rate)
             try:
                 response = yield request
@@ -490,13 +571,14 @@ class LoadBalancer:
                 continue
             return response
         if last_error is not None:
-            # Every backend was tried and shed/crashed mid-request.
+            # Every dispatchable backend was tried and shed/crashed.
             raise last_error
         if avoided:
             # Live backends exist but the avoidance hook (circuit breaker)
             # vetoed them all: fast-fail without touching the network.
             raise HttpError(503, "all live backends avoided")
         # All backends down pre-dispatch: surface the first one's error.
+        self.dispatches += 1
         request = self.servers[0].get(client, path, max_rate=max_rate)
         try:
             return (yield request)

@@ -26,6 +26,7 @@ from typing import Any, Optional
 
 from ..core.database import DatabaseJournal
 from ..netsim import AdmissionConfig
+from .autoscaler import Autoscaler, AutoscalerPolicy, ScaleEvent
 from .breaker import BreakerState, CircuitBreaker, GuardedSource
 from .supervisor import (
     RestartRecord,
@@ -38,6 +39,8 @@ from .supervisor import (
 
 __all__ = [
     "AdmissionConfig",
+    "Autoscaler",
+    "AutoscalerPolicy",
     "BreakerState",
     "CircuitBreaker",
     "DatabaseJournal",
@@ -45,6 +48,7 @@ __all__ = [
     "GuardedSource",
     "ResilienceOptions",
     "RestartRecord",
+    "ScaleEvent",
     "ServiceOutcome",
     "ServiceSupervisor",
     "SupervisorPolicy",

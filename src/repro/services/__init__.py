@@ -3,7 +3,7 @@
 from .base import Faultable, Service, ServiceError, ServiceState
 from .monitor import ClusterMonitor, Metrics, MonitorDaemon, enable_monitoring
 from .dhcpd import DhcpBinding, DhcpLease, DhcpServer
-from .httpd import KICKSTART_CGI_PATH, InstallServer, rpms_prefix
+from .httpd import KICKSTART_CGI_PATH, InstallReplicaSet, InstallServer, rpms_prefix
 from .nfs import NfsMount, NfsServer, StaleFileHandle
 from .nis import NisClient, NisDomain, UserAccount
 from .syslogd import Syslog, SyslogMessage
@@ -21,6 +21,7 @@ __all__ = [
     "DhcpLease",
     "DhcpServer",
     "KICKSTART_CGI_PATH",
+    "InstallReplicaSet",
     "InstallServer",
     "rpms_prefix",
     "NfsMount",

@@ -25,7 +25,12 @@ from ..netsim import (
 from ..rpm import Package, Repository
 from .base import Service
 
-__all__ = ["InstallServer", "rpms_prefix", "KICKSTART_CGI_PATH"]
+__all__ = [
+    "InstallServer",
+    "InstallReplicaSet",
+    "rpms_prefix",
+    "KICKSTART_CGI_PATH",
+]
 
 KICKSTART_CGI_PATH = "/install/kickstart.cgi"
 
@@ -138,3 +143,161 @@ class InstallServer(Service):
     @property
     def requests_served(self) -> int:
         return self.http.requests_served
+
+
+class InstallReplicaSet:
+    """The primary install server plus elastic replicas behind one name.
+
+    §6.3 of the paper notes replicating the install web server is
+    trivial because serving RPMs is strictly read-only.  This class is
+    the operational form of that observation: it satisfies the
+    installer's ``InstallSource`` protocol (``fetch_kickstart`` /
+    ``fetch_package``) by routing every request through a
+    :class:`~repro.netsim.LoadBalancer`, and lets an autoscaler
+    :meth:`add_replica` and :meth:`drain_replica` backends while
+    requests are in flight.
+
+    Replicas are full :class:`InstallServer` instances on their own
+    simulated hosts (cloned NIC speed, published distributions, CGI
+    mounts, and admission config), so each one brings real serving
+    capacity.  Draining is graceful: a drained replica leaves the
+    rotation immediately but keeps serving its in-flight transfers
+    until :meth:`reap_drained` observes its service link idle.
+
+    A ``should_avoid`` property (and deliberately *no* ``host``
+    attribute) makes :class:`~repro.resilience.GuardedSource` treat the
+    set as a balanced source and install its per-backend circuit
+    breakers on the underlying balancer.
+    """
+
+    def __init__(self, primary: InstallServer):
+        self.env = primary.env
+        self.primary = primary
+        self.network = primary.http.network
+        self.balancer = LoadBalancer([primary.http])
+        #: replicas currently in the rotation, oldest first
+        self.replicas: list[InstallServer] = []
+        self._draining: list[InstallServer] = []
+        self._spawned = 0
+
+    # -- balancer passthrough (GuardedSource wires breakers in here) -------
+    @property
+    def should_avoid(self):
+        return self.balancer.should_avoid
+
+    @should_avoid.setter
+    def should_avoid(self, hook) -> None:
+        self.balancer.should_avoid = hook
+
+    @property
+    def n_backends(self) -> int:
+        """Backends in the rotation (primary + active replicas)."""
+        return len(self.balancer.servers)
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    # -- elasticity --------------------------------------------------------
+    def add_replica(self) -> InstallServer:
+        """Spin up one replica and put it in the rotation.
+
+        Replica host names are monotonic (``replica-1``, ``replica-2``,
+        …) and never reused, so scale-up after scale-down cannot collide
+        with a host still draining.
+        """
+        self._spawned += 1
+        host = f"replica-{self._spawned}"
+        speed = self.network.host(self.primary.host).speed
+        self.network.attach(host, speed)
+        replica = InstallServer(
+            self.env,
+            self.network,
+            host,
+            efficiency=self.primary.http.efficiency,
+        )
+        for dist in self.primary.distributions():
+            replica.publish_packages(
+                dist, list(self.primary.package_index(dist).values())
+            )
+        for path, handler in self.primary.http.cgi_mounts().items():
+            replica.http.register_cgi(path, handler)
+        if self.primary.http.admission is not None:
+            replica.http.configure_admission(self.primary.http.admission)
+        self.replicas.append(replica)
+        self.balancer.add_backend(replica.http)
+        return replica
+
+    def drain_replica(self) -> Optional[InstallServer]:
+        """Take the newest replica out of the rotation (LIFO).
+
+        The primary is never drained.  Returns the draining replica, or
+        ``None`` if there are no replicas left.
+        """
+        if not self.replicas:
+            return None
+        replica = self.replicas.pop()
+        self.balancer.remove_backend(replica.http)
+        self._draining.append(replica)
+        return replica
+
+    def reap_drained(self) -> list[InstallServer]:
+        """Stop drained replicas whose last in-flight transfer finished."""
+        reaped = []
+        for replica in list(self._draining):
+            if self.network.flows.flows_through(replica.http.service_link):
+                continue
+            replica.stop()
+            self._draining.remove(replica)
+            reaped.append(replica)
+        return reaped
+
+    @property
+    def draining(self) -> list[InstallServer]:
+        return list(self._draining)
+
+    # -- InstallSource protocol --------------------------------------------
+    def fetch_kickstart(self, client: str) -> Process:
+        return self.balancer.get(client, KICKSTART_CGI_PATH)
+
+    def fetch_package(
+        self,
+        client: str,
+        dist_name: str,
+        pkg: Package,
+        max_rate: Optional[float] = None,
+    ) -> Process:
+        return self.env.process(
+            self._fetch_package(client, dist_name, pkg, max_rate),
+            name=f"GET {pkg.filename} {client}<-replicaset",
+        )
+
+    def _fetch_package(
+        self, client: str, dist_name: str, pkg: Package, max_rate: Optional[float]
+    ) -> Generator:
+        get = self.balancer.get(
+            client, f"{rpms_prefix(dist_name)}/{pkg.filename}", max_rate=max_rate
+        )
+        try:
+            resp = yield get
+        except Interrupt:
+            if get.is_alive:
+                get.interrupt("fetch aborted")
+            raise
+        resp.checksum = pkg.checksum
+        # Read the hook at fetch time: the fault injector installs it on
+        # the primary after this set may already have been constructed.
+        hook = self.primary.corruption_hook
+        if hook is not None and hook(client, pkg):
+            resp.checksum = f"corrupt:{pkg.checksum}"
+        return resp
+
+    @property
+    def bytes_served(self) -> float:
+        servers = [self.primary, *self.replicas, *self._draining]
+        return sum(s.bytes_served for s in servers)
+
+    @property
+    def requests_served(self) -> int:
+        servers = [self.primary, *self.replicas, *self._draining]
+        return sum(s.requests_served for s in servers)

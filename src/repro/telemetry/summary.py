@@ -48,6 +48,7 @@ def _span_stats(durations: list[float]) -> dict:
         "count": len(durations),
         "p50": percentile(durations, 0.50),
         "p95": percentile(durations, 0.95),
+        "p99": percentile(durations, 0.99),
         "max": max(durations, default=0.0),
         "total": sum(durations),
     }

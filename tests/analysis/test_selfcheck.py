@@ -224,12 +224,83 @@ def test_syntax_error_files_are_skipped(tmp_path):
     assert analyze_self(ctx) == []
 
 
+# -- RK206: unbounded queues on storm paths -----------------------------------
+
+
+def test_rk206_unbounded_deque_in_load_package(tmp_path):
+    ctx = make_ctx(tmp_path, {"load/generator.py": """
+        from collections import deque
+        def run():
+            pending = deque()
+            return pending
+    """})
+    diags = analyze_self(ctx)
+    assert codes(diags) == ["RK206"]
+    assert "without a bound" in diags[0].message
+    assert "maxlen" in diags[0].hint
+
+
+def test_rk206_unbounded_queue_classes_in_netsim(tmp_path):
+    ctx = make_ctx(tmp_path, {"netsim/buffers.py": """
+        import collections
+        import queue
+        def run():
+            a = collections.deque()
+            b = queue.Queue()
+            c = queue.SimpleQueue()   # has no bound at all
+            d = queue.LifoQueue(maxsize=0)  # 0 means unbounded
+            return a, b, c, d
+    """})
+    assert codes(analyze_self(ctx)) == ["RK206"] * 4
+
+
+def test_rk206_bounded_forms_are_clean(tmp_path):
+    ctx = make_ctx(tmp_path, {"load/buffers.py": """
+        import collections
+        from collections import deque
+        from queue import Queue
+        def run(items):
+            a = deque(maxlen=64)
+            b = collections.deque(items, 64)  # positional maxlen
+            c = Queue(maxsize=16)
+            d = Queue(16)
+            return a, b, c, d
+    """})
+    assert analyze_self(ctx) == []
+
+
+def test_rk206_ignores_cold_packages(tmp_path):
+    ctx = make_ctx(tmp_path, {"analysis/worklist.py": """
+        from collections import deque
+        def run():
+            return deque()
+    """})
+    assert analyze_self(ctx) == []
+
+
+def test_rk206_suppressible_by_baseline(tmp_path):
+    ctx = make_ctx(tmp_path, {"netsim/accept.py": """
+        from collections import deque
+        def run():
+            return deque()
+    """})
+    diags = analyze_self(ctx)
+    assert codes(diags) == ["RK206"]
+    baseline_file = tmp_path / "baseline.txt"
+    baseline_file.write_text(
+        "RK206 src/pkg/netsim/accept.py  # bounded by the admission cap\n"
+    )
+    kept, suppressed = Baseline.from_file(baseline_file).apply(diags)
+    assert kept == [] and len(suppressed) == 1
+
+
 # -- self-hosting: the acceptance gate ----------------------------------------
 
 
 def test_self_lint_clean_against_committed_baseline():
     """src/repro passes its own determinism linter with the committed
-    baseline (currently empty: every surfaced hazard was fixed)."""
+    baseline (one RK206 entry documents the invariant bounding the
+    admission accept queue; every other surfaced hazard was fixed)."""
     ctx = default_self_context()
     diags = analyze_self(ctx)
     baseline = Baseline.from_file(ctx.repo_root / "lint-baseline.txt")

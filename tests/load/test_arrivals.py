@@ -1,0 +1,105 @@
+"""Seeded open-loop arrival processes: determinism, shape, bounds."""
+
+import pytest
+
+from repro.load import ArrivalProcess, Diurnal, FlashCrowd, Poisson
+
+
+def test_same_seed_same_schedule():
+    a = Poisson(rate=5.0, duration=120.0, seed=7)
+    b = Poisson(rate=5.0, duration=120.0, seed=7)
+    assert a.times() == b.times()
+    # and calling twice on the same instance never mutates the schedule
+    assert a.times() == a.times()
+
+
+def test_different_seed_different_schedule():
+    a = Poisson(rate=5.0, duration=120.0, seed=7)
+    b = Poisson(rate=5.0, duration=120.0, seed=8)
+    assert a.times() != b.times()
+
+
+def test_process_class_is_part_of_the_rng_key():
+    """A Poisson and a FlashCrowd with identical knobs must not collide."""
+    p = Poisson(rate=5.0, duration=60.0, seed=3)
+    f = FlashCrowd(rate=5.0, duration=60.0, seed=3,
+                   base_frac=1.0, burst_duration=60.0)
+    # base_frac=1.0 makes the flash crowd's rate function constant, so
+    # only the RNG key (the class name) distinguishes the two schedules.
+    assert p.times() != f.times()
+
+
+def test_times_sorted_and_in_range():
+    for proc in (
+        Poisson(rate=10.0, duration=30.0, seed=1),
+        Diurnal(rate=10.0, duration=30.0, seed=1, period=60.0),
+        FlashCrowd(rate=10.0, duration=30.0, seed=1, burst_at=5.0),
+    ):
+        times = proc.times()
+        assert times, proc.describe()
+        assert times == sorted(times)
+        assert all(0.0 <= t < proc.duration for t in times)
+
+
+def test_poisson_count_tracks_rate():
+    times = Poisson(rate=10.0, duration=1000.0, seed=42).times()
+    # 10k expected arrivals; a seeded draw lands well within +-10%.
+    assert 9_000 < len(times) < 11_000
+
+
+def test_diurnal_trough_quieter_than_peak():
+    proc = Diurnal(rate=10.0, duration=1000.0, seed=0,
+                   period=1000.0, trough_frac=0.1)
+    times = proc.times()
+    # phase starts at the trough; half a period later is the peak
+    night = sum(1 for t in times if t < 250.0)
+    day = sum(1 for t in times if 250.0 <= t < 750.0)
+    assert day > 2 * night
+
+
+def test_flash_crowd_burst_dominates():
+    proc = FlashCrowd(rate=20.0, duration=300.0, seed=5,
+                      base_frac=0.05, burst_at=100.0, burst_duration=50.0)
+    times = proc.times()
+    burst = sum(1 for t in times if 100.0 <= t < 150.0)
+    # 50s at full rate vs 250s at 5%: the burst holds most arrivals
+    assert burst > len(times) / 2
+
+
+def test_rate_at_shapes():
+    d = Diurnal(rate=10.0, period=100.0, trough_frac=0.2)
+    assert d.rate_at(0.0) == pytest.approx(2.0)     # trough
+    assert d.rate_at(50.0) == pytest.approx(10.0)   # peak
+    f = FlashCrowd(rate=10.0, base_frac=0.1, burst_at=10.0, burst_duration=5.0)
+    assert f.rate_at(0.0) == pytest.approx(1.0)
+    assert f.rate_at(12.0) == pytest.approx(10.0)
+    assert f.rate_at(15.0) == pytest.approx(1.0)
+
+
+def test_max_events_truncates_instead_of_exploding():
+    proc = Poisson(rate=1000.0, duration=3600.0, seed=0, max_events=500)
+    assert len(proc.times()) == 500
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="rate"):
+        Poisson(rate=0.0)
+    with pytest.raises(ValueError, match="duration"):
+        Poisson(duration=-1.0)
+    with pytest.raises(ValueError, match="max_events"):
+        Poisson(max_events=0)
+    with pytest.raises(ValueError, match="period"):
+        Diurnal(period=0.0)
+    with pytest.raises(ValueError, match="trough_frac"):
+        Diurnal(trough_frac=1.5)
+    with pytest.raises(ValueError, match="base_frac"):
+        FlashCrowd(base_frac=-0.1)
+    with pytest.raises(ValueError, match="burst"):
+        FlashCrowd(burst_duration=0.0)
+
+
+def test_describe_names_the_process():
+    assert "Diurnal" in Diurnal(rate=2.0).describe()
+    assert ArrivalProcess(rate=3.0, duration=9.0, seed=4).describe() == (
+        "ArrivalProcess(rate=3/s, duration=9s, seed=4)"
+    )

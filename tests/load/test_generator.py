@@ -1,0 +1,116 @@
+"""The open-loop load generator: schedule fidelity, outcome tally, SLO report."""
+
+import pytest
+
+from repro.load import LoadGenerator, Poisson
+from repro.netsim import (
+    FAST_ETHERNET,
+    AdmissionConfig,
+    Environment,
+    HttpServer,
+    Network,
+)
+
+
+def make_rig(n_clients=4, doc_size=10.0):
+    env = Environment()
+    network = Network(env)
+    network.attach("www", FAST_ETHERNET)
+    for i in range(n_clients):
+        network.attach(f"c{i}", FAST_ETHERNET)
+    server = HttpServer(network, "www", efficiency=1.0)
+    server.publish("/pkg", doc_size)
+    return env, server
+
+
+def test_issues_every_scheduled_arrival():
+    env, server = make_rig()
+    proc = Poisson(rate=2.0, duration=30.0, seed=1)
+    gen = LoadGenerator(env, server, ["c0", "c1"], "/pkg", proc).start()
+    env.run(until=gen.done)
+    n = len(proc.times())
+    assert gen.issued == n
+    assert gen.completed == n
+    assert gen.ok == n
+    assert gen.shed == 0 and gen.errors == 0
+    assert len(gen.latencies) == n
+
+
+def test_open_loop_schedule_ignores_server_speed():
+    """Issuance times come from the arrival process, not the responses."""
+    proc = Poisson(rate=2.0, duration=20.0, seed=3)
+    counts = {}
+    for doc_size in (1.0, FAST_ETHERNET * 30.0):  # trivial vs 30s/transfer
+        env, server = make_rig(doc_size=doc_size)
+        gen = LoadGenerator(env, server, ["c0"], "/pkg", proc).start()
+        env.run(until=proc.duration)  # end of the schedule window
+        counts[doc_size] = gen.issued
+    # both servers saw the identical number of issued requests by t=20
+    assert len(set(counts.values())) == 1
+    assert counts[1.0] == len(proc.times())
+
+
+def test_overload_is_tallied_as_shed_not_raised():
+    env, server = make_rig(n_clients=8, doc_size=FAST_ETHERNET * 5.0)
+    server.configure_admission(
+        AdmissionConfig(max_concurrent=1, queue_limit=0, retry_after=5.0)
+    )
+    # 8 arrivals in one burst against a single slot with no queue
+    proc = Poisson(rate=100.0, duration=0.1, seed=2, max_events=8)
+    clients = [f"c{i}" for i in range(8)]
+    gen = LoadGenerator(env, server, clients, "/pkg", proc).start()
+    env.run(until=gen.done)
+    assert gen.issued == 8
+    assert gen.ok >= 1
+    assert gen.shed == gen.issued - gen.ok - gen.errors
+    assert gen.shed > 0
+    assert gen.shed_rate == pytest.approx(gen.shed / gen.completed)
+
+
+def test_missing_document_counts_as_error():
+    env, server = make_rig()
+    proc = Poisson(rate=10.0, duration=0.5, seed=4, max_events=3)
+    gen = LoadGenerator(env, server, ["c0"], "/missing", proc).start()
+    env.run(until=gen.done)
+    assert gen.errors == gen.issued
+    assert gen.ok == 0 and gen.shed == 0
+
+
+def test_same_seed_same_report():
+    reports = []
+    for _ in range(2):
+        env, server = make_rig(n_clients=4, doc_size=FAST_ETHERNET * 2.0)
+        server.configure_admission(
+            AdmissionConfig(max_concurrent=2, queue_limit=2)
+        )
+        proc = Poisson(rate=4.0, duration=10.0, seed=9)
+        gen = LoadGenerator(
+            env, server, ["c0", "c1", "c2", "c3"], "/pkg", proc
+        ).start()
+        env.run(until=gen.done)
+        reports.append(gen.report())
+    assert reports[0] == reports[1]
+
+
+def test_report_shape():
+    env, server = make_rig()
+    proc = Poisson(rate=2.0, duration=5.0, seed=0)
+    gen = LoadGenerator(env, server, ["c0"], "/pkg", proc, name="herd").start()
+    env.run(until=gen.done)
+    report = gen.report()
+    assert report["name"] == "herd"
+    assert "Poisson" in report["arrivals"]
+    assert set(report["latency_s"]) == {"p50", "p95", "p99", "max"}
+    assert report["latency_s"]["max"] >= report["latency_s"]["p50"] > 0.0
+
+
+def test_lifecycle_guards():
+    env, server = make_rig()
+    gen = LoadGenerator(env, server, ["c0"], "/pkg", Poisson(rate=1.0))
+    with pytest.raises(RuntimeError, match="not started"):
+        gen.done
+    gen.start()
+    with pytest.raises(RuntimeError, match="already started"):
+        gen.start()
+    with pytest.raises(ValueError, match="client"):
+        LoadGenerator(env, server, [], "/pkg", Poisson(rate=1.0))

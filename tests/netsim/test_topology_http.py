@@ -298,3 +298,68 @@ def test_load_balancer_fast_fails_when_every_backend_is_avoided():
 
     assert env.run(until=env.process(go()))
     assert all(s.requests_served == 0 for s in servers)
+
+
+def make_lb_farm(n=3):
+    env = Environment()
+    network = Network(env)
+    servers = []
+    for i in range(n):
+        network.attach(f"www{i}", FAST_ETHERNET)
+        s = HttpServer(network, f"www{i}")
+        s.publish("/pkg", 1000)
+        servers.append(s)
+    network.attach("c0", FAST_ETHERNET)
+    return env, network, servers
+
+
+def test_load_balancer_add_backend_joins_the_rotation():
+    env, network, servers = make_lb_farm(n=2)
+    lb = LoadBalancer(servers[:1])
+    env.run(until=lb.get("c0", "/pkg"))
+    lb.add_backend(servers[1])
+    picked = [env.run(until=lb.get("c0", "/pkg")).server for _ in range(3)]
+    # the new backend joins the tail of the rotation and gets its share
+    assert picked == ["www0", "www1", "www0"]
+    assert servers[1].requests_served == 1
+    with pytest.raises(ValueError, match="already"):
+        lb.add_backend(servers[1])
+
+
+def test_load_balancer_remove_backend_validation():
+    env, network, servers = make_lb_farm(n=2)
+    lb = LoadBalancer(servers[:1])
+    with pytest.raises(ValueError, match="not registered"):
+        lb.remove_backend(servers[1])
+    with pytest.raises(ValueError, match="last backend"):
+        lb.remove_backend(servers[0])
+
+
+def test_load_balancer_remove_keeps_rotation_fair():
+    """Removing a backend behind the cursor must not skip the next one."""
+    env, _, servers = make_lb_farm(n=3)
+    lb = LoadBalancer(servers)
+    env.run(until=lb.get("c0", "/pkg"))  # www0; cursor now at www1
+    lb.remove_backend(servers[0])
+    picked = []
+    for _ in range(4):
+        picked.append(env.run(until=lb.get("c0", "/pkg")).server)
+    # www1 and www2 alternate, starting from the undisturbed cursor
+    assert picked == ["www1", "www2", "www1", "www2"]
+
+
+def test_load_balancer_skips_do_not_consume_failover_attempts():
+    """An avoided/dead backend is skipped, not tried: with N-1 of N
+    backends unavailable the single live one still serves every request."""
+    env, _, servers = make_lb_farm(n=3)
+    servers[0].running = False
+    lb = LoadBalancer(servers)
+    lb.should_avoid = lambda server: server.host == "www2"
+    for _ in range(4):
+        resp = env.run(until=lb.get("c0", "/pkg"))
+        assert resp.server == "www1"
+    assert lb.dispatches == 4
+    # skipped backends ahead of www1 in each request's rotation:
+    # starts 0,1,2,0 -> 1 + 0 + 2 + 1 skips, none of them dispatched
+    assert lb.skips == 4
+    assert servers[2].requests_served == 0

@@ -243,3 +243,72 @@ def test_in_flight_gauge_tracks_grants_and_releases():
     samples = [v for _, v in tracer.metrics.samples("http.in_flight/www")]
     assert max(samples) == 2  # the cap was reached...
     assert samples[-1] == 0   # ...and fully released at the end
+
+
+# -- seeded Retry-After jitter ------------------------------------------------
+
+
+def shed_hints(jitter, seed=0, n=12, retry_after=10.0):
+    """Occupy the single slot, shed n requests, return their hints."""
+    env, server = make_http(n_clients=n + 1)
+    server.configure_admission(
+        AdmissionConfig(
+            max_concurrent=1,
+            queue_limit=0,
+            retry_after=retry_after,
+            retry_jitter=jitter,
+            jitter_seed=seed,
+        )
+    )
+    server.publish("/slow", FAST_ETHERNET * 600)
+    server.get("c0", "/slow")  # pins the only slot
+    results = []
+    for i in range(n):
+        env.process(fetch(env, server, f"c{i + 1}", "/pkg", results))
+    env.run(until=1.0)
+    assert len(results) == n
+    assert all(isinstance(r, HttpError) and r.status == 503 for r in results)
+    return [r.retry_after for r in results]
+
+
+def test_retry_jitter_validation():
+    with pytest.raises(ValueError, match="retry_jitter"):
+        AdmissionConfig(max_concurrent=1, retry_jitter=-0.1)
+
+
+def test_no_jitter_means_a_fixed_hint():
+    assert set(shed_hints(jitter=0.0)) == {10.0}
+
+
+def test_jitter_spreads_hints_within_the_advertised_band():
+    hints = shed_hints(jitter=0.5, retry_after=10.0)
+    assert all(10.0 <= h <= 15.0 for h in hints)
+    assert len(set(hints)) > 1  # the herd is actually spread
+
+
+def test_jitter_is_deterministic_in_the_seed():
+    assert shed_hints(jitter=0.5, seed=7) == shed_hints(jitter=0.5, seed=7)
+    assert shed_hints(jitter=0.5, seed=7) != shed_hints(jitter=0.5, seed=8)
+
+
+def test_queue_timeout_sheds_carry_jittered_hints_too():
+    env, server = make_http(n_clients=3)
+    server.configure_admission(
+        AdmissionConfig(
+            max_concurrent=1,
+            queue_limit=2,
+            queue_timeout=5.0,
+            retry_after=10.0,
+            retry_jitter=0.5,
+            jitter_seed=3,
+        )
+    )
+    server.publish("/slow", FAST_ETHERNET * 600)
+    server.get("c0", "/slow")
+    results = []
+    for i in range(2):
+        env.process(fetch(env, server, f"c{i + 1}", "/pkg", results))
+    env.run(until=20.0)
+    assert len(results) == 2
+    assert server.queue_timeouts == 2
+    assert all(10.0 <= r.retry_after <= 15.0 for r in results)
