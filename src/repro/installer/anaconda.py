@@ -418,4 +418,6 @@ class KickstartInstaller:
                     f"DHCP: no answer after {attempt} attempts; "
                     "is dhcpd running and this MAC in the database?"
                 )
-            yield env.timeout(self.cal.dhcp_retry_seconds)
+            # Staggered nodes retry at distinct instants (own slot each);
+            # unstaggered nodes collapse into one shared retry timer.
+            yield env.slotted_timeout(self.cal.dhcp_retry_seconds)

@@ -140,6 +140,8 @@ class MetricAggregator(Service):
     # -- alert evaluation ---------------------------------------------------
     def _tick(self):
         while True:
-            yield self.env.timeout(self.interval)
+            # Fixed-period tick: share the heap entry with anything else
+            # due at the same instant (e.g. lockstep monitor daemons).
+            yield self.env.slotted_timeout(self.interval)
             if self.running and self.engine is not None:
                 self.engine.evaluate(self, self.env.now)

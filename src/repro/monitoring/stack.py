@@ -127,7 +127,7 @@ class MonitoringStack:
 
         def loop():
             while True:
-                yield self.env.timeout(period)
+                yield self.env.slotted_timeout(period)
                 sink(self.render_top())
                 sink("")
 

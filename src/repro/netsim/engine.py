@@ -329,12 +329,29 @@ class Process(Event):
 class Environment:
     """Holds simulated time and the pending event queue."""
 
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_seq",
+        "_active_process",
+        "_n_cancelled",
+        "_slots",
+        "events_dispatched",
+        "tracer",
+    )
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
         self._n_cancelled = 0
+        #: shared timer buckets, keyed by absolute due time — see
+        #: :meth:`slotted_timeout`
+        self._slots: dict[float, Timeout] = {}
+        #: events dispatched (cancelled entries excluded); benchmarks read
+        #: this to report events/sec
+        self.events_dispatched = 0
         #: telemetry sink; the no-op default costs nothing (see
         #: :mod:`repro.telemetry` — attach a Tracer to opt in)
         self.tracer = NULL_TRACER
@@ -355,6 +372,65 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
+    def slotted_timeout(self, delay: float) -> Timeout:
+        """A shared timer: waiters due at the same instant share one event.
+
+        Thousands of identical per-node timers (heartbeats, DHCP retries,
+        monitor ticks) otherwise each cost a heap entry per period.  All
+        callers asking to wake at the same absolute time get the *same*
+        Timeout, collapsing N heap entries into one; each waiter just
+        appends its callback.  The value is always ``None``.
+
+        Do **not** ``cancel()`` a slotted timeout: it is shared, and
+        cancelling it would silently defuse every co-waiter.  Processes
+        waiting on one may still be interrupted normally (interruption
+        detaches only that process's callback).
+        """
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        due = self._now + delay
+        slot = self._slots.get(due)
+        if slot is None or not slot._scheduled or slot._cancelled:
+            slot = Timeout(self, delay)
+            self._slots[due] = slot
+            # First callback: retire the bucket so a later request for the
+            # same due time (possible only with delay == 0 mid-dispatch)
+            # gets a fresh, still-pending slot.
+            slot.callbacks.append(lambda _ev, due=due: self._slots.pop(due, None))
+        return slot
+
+    def timeout_batch(self, delays: Iterable[float], value: Any = None) -> list[Timeout]:
+        """Create many timeouts with one bulk heap operation.
+
+        Scheduling k timers one by one costs k sifts of an ever-growing
+        heap; batching appends them all and re-heapifies once, which is
+        what mass per-node bootstrap (10k staggered first wakeups) wants.
+        Semantically identical to ``[env.timeout(d) for d in delays]``,
+        including the order in which sequence numbers are assigned.
+        """
+        out: list[Timeout] = []
+        entries: list[tuple[float, int, Event]] = []
+        now = self._now
+        for delay in delays:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay!r}")
+            tout = Timeout.__new__(Timeout)
+            Event.__init__(tout, self)
+            tout.delay = delay
+            tout._triggered = True
+            tout._value = value
+            tout._scheduled = True
+            entries.append((now + delay, next(self._seq), tout))
+            out.append(tout)
+        queue = self._queue
+        if len(entries) * 4 >= len(queue):
+            queue.extend(entries)
+            heapq.heapify(queue)
+        else:
+            for entry in entries:
+                heapq.heappush(queue, entry)
+        return out
+
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
         return Process(self, generator, name=name)
 
@@ -367,20 +443,29 @@ class Environment:
     # -- scheduling -------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         event._scheduled = True
+        if event._cancelled:
+            # Triggering an event that was cancelled while pending pushes a
+            # dead entry; count it so compaction accounting stays balanced.
+            self._n_cancelled += 1
         heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
 
     def cancel(self, event: Event) -> None:
-        """Defuse a scheduled event: its callbacks will never run.
+        """Defuse an event: its callbacks will never run.
 
-        Removal from a binary heap is O(n), so cancellation is lazy —
-        the entry is marked and skipped at dispatch — with a periodic
-        compaction once cancelled entries dominate the queue.  This is
-        what keeps wakeup-heavy workloads (flow recompute storms under
-        fault flapping) from growing the queue without bound.
+        A cancelled event is marked even when it was never scheduled, so
+        ``run(until=event)`` can diagnose an unawaitable stop event
+        instead of draining the queue.  Removal from a binary heap is
+        O(n), so scheduled entries are cancelled lazily — marked and
+        skipped at dispatch — with a periodic compaction once cancelled
+        entries dominate the queue.  This is what keeps wakeup-heavy
+        workloads (flow recompute storms under fault flapping) from
+        growing the queue without bound.
         """
         event.callbacks.clear()
-        if event._scheduled and not event._cancelled:
-            event._cancelled = True
+        if event._cancelled:
+            return
+        event._cancelled = True
+        if event._scheduled:
             self._n_cancelled += 1
             if self._n_cancelled > 64 and self._n_cancelled * 2 > len(self._queue):
                 self._queue = [
@@ -401,6 +486,7 @@ class Environment:
             return
         callbacks, event.callbacks = event.callbacks, []
         event._scheduled = False
+        self.events_dispatched += 1
         for cb in callbacks:
             cb(event)
 
@@ -409,25 +495,58 @@ class Environment:
 
         ``until`` may be a simulated-time deadline (float) or an Event; when
         an Event is given, run() returns its value (raising its exception if
-        it failed).
+        it failed).  Awaiting a cancelled event raises
+        :class:`SimulationError` immediately — its callbacks are gone, so
+        it can never trigger, and draining the whole queue first would
+        only produce a misleading "ran out of events" error.
+
+        The dispatch loop is inlined rather than delegating to
+        :meth:`step`: at 10k-node scale the per-event call overhead is
+        measurable, and this loop is the hottest path in the simulator.
+        ``self._queue`` is re-read every iteration because a callback may
+        trigger compaction in :meth:`cancel`, which rebinds it.
         """
+        heappop = heapq.heappop
         if isinstance(until, Event):
             stop_event = until
-            while not stop_event.triggered:
+            while not stop_event._triggered:
+                if stop_event._cancelled:
+                    raise SimulationError(
+                        "run(until=...) awaits a cancelled event, which can never trigger"
+                    )
                 if not self._queue:
                     raise SimulationError(
                         "simulation ran out of events before the awaited event triggered"
                     )
-                self.step()
+                when, _, event = heappop(self._queue)
+                self._now = when
+                if event._cancelled:
+                    self._n_cancelled -= 1
+                    event._scheduled = False
+                    continue
+                callbacks, event.callbacks = event.callbacks, []
+                event._scheduled = False
+                self.events_dispatched += 1
+                for cb in callbacks:
+                    cb(event)
             if stop_event._ok:
                 return stop_event._value
             raise stop_event._value
         deadline = float("inf") if until is None else float(until)
         while self._queue:
-            when = self._queue[0][0]
-            if when > deadline:
+            if self._queue[0][0] > deadline:
                 break
-            self.step()
+            when, _, event = heappop(self._queue)
+            self._now = when
+            if event._cancelled:
+                self._n_cancelled -= 1
+                event._scheduled = False
+                continue
+            callbacks, event.callbacks = event.callbacks, []
+            event._scheduled = False
+            self.events_dispatched += 1
+            for cb in callbacks:
+                cb(event)
         if deadline != float("inf"):
             self._now = max(self._now, deadline)
         return None

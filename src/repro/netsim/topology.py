@@ -92,9 +92,26 @@ class Network:
         """Administratively remove a host (its in-flight flows abort)."""
         host = self._hosts.pop(name)
         host.up = False
-        for flow in list(self.flows._flows):
-            if host.tx in flow.path or host.rx in flow.path:
-                flow.cancel()
+        self._abort_host_flows(host)
+
+    def _abort_host_flows(self, host: Host) -> None:
+        """Cancel every flow crossing either side of a host's NIC.
+
+        Uses the per-link flow index rather than scanning all flows —
+        a whole-site power failure cancels per-host in O(host's flows),
+        not O(cluster's flows) per host.  A loopback flow appears on
+        both sides; the dict dedupes it so it is cancelled once.
+        """
+        doomed = list(
+            dict.fromkeys(
+                self.flows.flows_through(host.tx) + self.flows.flows_through(host.rx)
+            )
+        )
+        # Cancel in flow-start order, matching the legacy global scan, so
+        # the abort events fire in the same deterministic sequence.
+        doomed.sort(key=lambda flow: flow._seq)
+        for flow in doomed:
+            flow.cancel()
 
     def host(self, name: str) -> Host:
         try:
@@ -113,18 +130,18 @@ class Network:
 
         This is the link-degradation fault: unlike :meth:`Host.set_speed`
         (a pre-run configuration), it is safe while flows are active.
+        Only the components crossing this host's NIC are recomputed.
         """
-        self.host(name).set_speed(speed)
-        self.flows.recompute()
+        host = self.host(name)
+        host.set_speed(speed)
+        self.flows.recompute([host.tx, host.rx])
 
     def set_host_up(self, name: str, up: bool) -> None:
         """Mark a host's link state; down hosts cannot move traffic."""
         host = self.host(name)
         host.up = up
         if not up:
-            for flow in list(self.flows._flows):
-                if host.tx in flow.path or host.rx in flow.path:
-                    flow.cancel()
+            self._abort_host_flows(host)
 
     def reachable(self, src: str, dst: str) -> bool:
         """True when both endpoints are attached and link-up."""

@@ -53,7 +53,9 @@ class MauiScheduler:
     def _loop(self):
         while self._running:
             self.schedule_once()
-            yield self.env.timeout(self.iteration_seconds)
+            # Fixed-period iteration; slotted so aligned tickers share
+            # one heap entry per instant.
+            yield self.env.slotted_timeout(self.iteration_seconds)
 
     # -- one scheduling iteration --------------------------------------------------
     def schedule_once(self) -> int:

@@ -169,7 +169,9 @@ class MonitorDaemon:
                     )
                 )
                 self.beats_sent += 1
-            yield env.timeout(self.monitor.heartbeat_seconds)
+            # Daemons beat in lockstep, so share one heap entry per tick
+            # instead of one per machine.
+            yield env.slotted_timeout(self.monitor.heartbeat_seconds)
 
 
 def enable_monitoring(env: Environment, machines: list[Machine],

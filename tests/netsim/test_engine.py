@@ -313,3 +313,149 @@ def test_interleaved_processes_share_clock():
         ("ping", 6),
         ("pong", 7),
     ]
+
+
+# -- run(until=event) with a cancelled stop event ---------------------------
+
+def test_run_until_cancelled_event_raises_immediately():
+    env = Environment()
+    stop = env.event()
+    env.timeout(100.0)  # unrelated pending work
+    env.cancel(stop)
+    with pytest.raises(SimulationError, match="cancelled"):
+        env.run(until=stop)
+    # The failure is immediate: the queue was not drained to prove it.
+    assert env.now == 0.0
+    assert env.peek() == 100.0
+
+
+def test_run_until_event_cancelled_mid_run_raises():
+    env = Environment()
+    stop = env.event()
+
+    def saboteur():
+        yield env.timeout(1.0)
+        env.cancel(stop)
+
+    env.process(saboteur())
+    env.timeout(100.0)
+    with pytest.raises(SimulationError, match="cancelled"):
+        env.run(until=stop)
+    # Raised right after the cancellation, not after draining to t=100.
+    assert env.now == 1.0
+    assert 100.0 in [entry[0] for entry in env._queue]
+
+
+# -- timeout_batch ----------------------------------------------------------
+
+def test_timeout_batch_matches_individual_timeouts():
+    delays = [3.0, 1.0, 2.0, 1.0, 0.0]
+
+    def world(batch):
+        env = Environment()
+        log = []
+        touts = (
+            env.timeout_batch(delays, value="v")
+            if batch
+            else [env.timeout(d, value="v") for d in delays]
+        )
+        for i, tout in enumerate(touts):
+            tout.callbacks.append(lambda ev, i=i: log.append((env.now, i, ev.value)))
+        env.run()
+        return [(t.delay, t.value) for t in touts], log
+
+    assert world(True) == world(False)  # same delays, same FIFO tie order
+
+
+def test_timeout_batch_bulk_heapify_path():
+    # Large batch vs near-empty queue takes the extend+heapify branch.
+    env = Environment()
+    delays = [float((i * 37) % 100) for i in range(200)]
+    log = []
+    for i, tout in enumerate(env.timeout_batch(delays)):
+        tout.callbacks.append(lambda _ev, i=i: log.append(i))
+    env.run()
+    expected = sorted(range(200), key=lambda i: (delays[i], i))
+    assert log == expected
+
+
+def test_timeout_batch_rejects_negative_delay():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout_batch([1.0, -0.5])
+
+
+# -- slotted timeouts -------------------------------------------------------
+
+def test_slotted_timeout_shares_one_event_per_due_time():
+    env = Environment()
+    a = env.slotted_timeout(5.0)
+    b = env.slotted_timeout(5.0)
+    assert a is b
+    assert env.slotted_timeout(6.0) is not a
+
+
+def test_slotted_timeout_keys_on_absolute_due_time():
+    env = Environment()
+    early = env.slotted_timeout(5.0)  # due t=5
+
+    def later():
+        yield env.timeout(1.0)
+        # Requested at t=1 with delay 4: same absolute due, same slot.
+        assert env.slotted_timeout(4.0) is early
+
+    env.process(later())
+    env.run()
+
+
+def test_slotted_timeout_wakes_every_waiter_and_cleans_up():
+    env = Environment()
+    woke = []
+
+    def sleeper(name):
+        yield env.slotted_timeout(7.0)
+        woke.append((name, env.now))
+
+    for name in ("a", "b", "c"):
+        env.process(sleeper(name), name=name)
+    env.run()
+    assert woke == [("a", 7.0), ("b", 7.0), ("c", 7.0)]
+    assert env._slots == {}  # fired slots are reaped
+    # A new request for the same delay gets a fresh slot at the new due.
+    again = env.slotted_timeout(7.0)
+    assert again.delay == 7.0 and env._slots
+
+
+def test_slotted_timeout_survives_interrupted_waiter():
+    env = Environment()
+    woke = []
+
+    def sleeper(name):
+        try:
+            yield env.slotted_timeout(10.0)
+            woke.append((name, env.now))
+        except Interrupt:
+            woke.append((name, "interrupted", env.now))
+
+    procs = [env.process(sleeper(n), name=n) for n in ("a", "b")]
+
+    def meddler():
+        yield env.timeout(3.0)
+        procs[0].interrupt()
+
+    env.process(meddler())
+    env.run()
+    # The shared slot still fires for the remaining waiter.
+    assert woke == [("a", "interrupted", 3.0), ("b", 10.0)]
+
+
+def test_cancel_never_scheduled_event_is_accounted():
+    env = Environment()
+    ev = env.event()
+    env.cancel(ev)
+    env.cancel(ev)  # idempotent
+    assert ev._cancelled
+    # Cancelled-then-triggered events are skipped without accounting drift.
+    env.timeout(1.0)
+    env.run()
+    assert env.now == 1.0

@@ -287,3 +287,58 @@ def test_shared_link_completion_conserves_work(sizes, cap):
     assert all(f.done.triggered for f in flows)
     expect = sum(sizes) / cap
     assert env.now == pytest.approx(expect, rel=1e-6)
+
+
+# -- full-recompute mode (kept for differential testing) --------------------
+
+def make_full_net():
+    env = Environment()
+    return env, FlowNetwork(env, incremental=False)
+
+
+def test_full_mode_two_flows_share_equally():
+    env, net = make_full_net()
+    link = Link("l", 100.0)
+    f1 = net.transfer([link], 500.0)
+    f2 = net.transfer([link], 500.0)
+    assert f1.rate == pytest.approx(50.0)
+    assert f2.rate == pytest.approx(50.0)
+    env.run()
+    assert f1.finished_at == f2.finished_at == pytest.approx(10.0)
+
+
+def test_full_mode_departure_redistributes():
+    env, net = make_full_net()
+    link = Link("l", 100.0)
+    short = net.transfer([link], 100.0)
+    long = net.transfer([link], 500.0)
+    env.run(until=short.done)
+    assert long.rate == pytest.approx(100.0)
+    env.run(until=long.done)
+    assert env.now == pytest.approx(6.0)
+
+
+def test_full_mode_refills_untouched_components():
+    # Two disjoint links: a change on one must still leave the other's
+    # flow correct (full mode refills it; rates are reproduced exactly).
+    env, net = make_full_net()
+    a, b = Link("a", 100.0), Link("b", 40.0)
+    fa = net.transfer([a], 1000.0)
+    fb = net.transfer([b], 1000.0)
+    assert (fa.rate, fb.rate) == (100.0, 40.0)
+    fa2 = net.transfer([a], 1000.0)  # dirties only link a
+    assert fa.rate == fa2.rate == 50.0
+    assert fb.rate == 40.0
+
+
+def test_incremental_change_preserves_other_components_rates():
+    env, net = make_net()
+    a, b = Link("a", 100.0), Link("b", 40.0)
+    fa = net.transfer([a], 1000.0)
+    fb = net.transfer([b], 1000.0)
+    fa2 = net.transfer([a], 1000.0)
+    # Incremental mode never even visited fb's component.
+    assert fa.rate == fa2.rate == 50.0
+    assert fb.rate == 40.0
+    env.run()
+    assert fb.finished_at == pytest.approx(25.0)
