@@ -165,6 +165,9 @@ CODES: dict[str, CodeInfo] = {
                  "flushed)"),
         CodeInfo("RK206", Severity.WARNING,
                  "unbounded queue construction in a load/netsim hot path"),
+        CodeInfo("RK207", Severity.WARNING,
+                 "per-host serial wait loop over cluster membership in a "
+                 "campaign surface"),
     ]
 }
 

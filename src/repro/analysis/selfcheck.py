@@ -25,7 +25,15 @@ shapes, and each is mechanically detectable in the AST:
   with no size bound): open-loop load makes any unbounded buffer an
   eventual memory-shaped outage, so storm-path queues must either carry
   an explicit bound or a baseline entry justifying the invariant that
-  bounds them.
+  bounds them;
+* **RK207** — a ``for`` loop over cluster membership whose body waits on
+  the simulation per host (``env.step``/``env.run``/``yield``/
+  ``wait_for_state``) in a campaign surface: serial per-host waits
+  stretch campaign time linearly with cluster size — drive hosts
+  through :class:`repro.exec.ExecTask` (sliding fanout window) or one
+  ``AllOf`` barrier instead.  Intentional remnants (e.g. insert-ethers'
+  sequential boot, which *binds* rack/rank to physical position) carry
+  baseline entries.
 
 The linter lints itself: ``repro lint --self`` runs these passes over
 ``src/repro`` (including this package) against the committed baseline.
@@ -34,6 +42,7 @@ The linter lints itself: ``repro lint --self`` runs these passes over
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional
@@ -94,7 +103,7 @@ class SelfLintContext:
     package_root: Path                    # e.g. <repo>/src/repro
     repo_root: Path                       # paths in diagnostics are relative to this
     #: package subdirectories whose loops are determinism-critical
-    hot_paths: tuple[str, ...] = ("netsim", "installer")
+    hot_paths: tuple[str, ...] = ("netsim", "installer", "exec")
     _files: Optional[list[ParsedFile]] = None
 
     @property
@@ -402,6 +411,83 @@ def check_unbounded_queues(ctx: SelfLintContext):
                 hint="pass maxlen=/maxsize=, or add a baseline entry "
                      "naming the invariant that bounds it",
                 queue=name,
+            )
+
+
+# -- RK207: per-host serial wait loops over cluster membership --------------------
+
+#: modules/packages (relative to the package root) that are campaign
+#: surfaces: where an administrator-visible sweep over the whole cluster
+#: is driven from
+_SERIAL_SURFACES = ("cli.py", "quickbuild.py", "core/tools", "faults", "load")
+
+#: iterable names that denote cluster membership
+_MEMBERSHIP_RE = re.compile(
+    r"\b(nodes|machines|compute_machines|compute_nodes|targets|outlets)\b"
+)
+
+#: env methods that advance/block the simulation inside the loop body
+_SERIAL_WAIT_ATTRS = frozenset({"step", "run", "wait_for_state"})
+
+
+def _in_serial_surface(ctx: SelfLintContext, pf: ParsedFile) -> bool:
+    rel_pkg = pf.path.relative_to(ctx.package_root).as_posix()
+    return any(
+        rel_pkg == surface or rel_pkg.startswith(surface + "/")
+        for surface in _SERIAL_SURFACES
+    )
+
+
+def _body_waits_per_host(loop: ast.For) -> Optional[str]:
+    """The first per-iteration simulation wait in the loop body, if any."""
+    stack = list(loop.body) + list(loop.orelse)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # a nested def's waits run on its caller's schedule
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return "yield"
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SERIAL_WAIT_ATTRS):
+            return node.func.attr
+        stack.extend(ast.iter_child_nodes(node))
+    return None
+
+
+@register_self("RK207")
+def check_serial_host_loops(ctx: SelfLintContext):
+    """Per-host serial waits make campaign time linear in cluster size.
+
+    A 4096-node sweep that waits for each host in turn takes 4096x one
+    host's latency; the exec fabric's sliding fanout window (or a single
+    ``AllOf`` barrier) takes ~max instead of ~sum.  Loops whose
+    serialization is the point (insert-ethers' sequential boot binds
+    rack/rank to physical position, §6.4) are suppressed via the lint
+    baseline, which doubles as the inventory of intentional remnants.
+    """
+    for pf in ctx.files:
+        if not _in_serial_surface(ctx, pf):
+            continue
+        for node in ast.walk(pf.tree):
+            if not isinstance(node, ast.For):
+                continue
+            iter_text = ast.unparse(node.iter)
+            if not _MEMBERSHIP_RE.search(iter_text):
+                continue
+            wait = _body_waits_per_host(node)
+            if wait is None:
+                continue
+            yield ctx.diag(
+                "RK207",
+                f"serial per-host loop over {iter_text!r} waits on the "
+                f"simulation ({wait}) once per host",
+                pf, node,
+                hint="drive hosts through repro.exec.ExecTask (sliding "
+                     "fanout window) or one AllOf barrier; add a baseline "
+                     "entry when serialization is the point",
+                iterable=iter_text,
+                wait=wait,
             )
 
 

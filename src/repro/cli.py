@@ -202,6 +202,21 @@ def _cmd_reports(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_nodes(value: str) -> tuple[int, Optional[str]]:
+    """Parse a ``--nodes`` value: a count, or a nodeset of targets.
+
+    ``32`` keeps the historical behaviour (a 32-node cluster, campaign
+    over all of it); ``node[0-4095]`` or ``compute-0-[0-15],@compute``
+    sizes the cluster to cover the set and targets exactly those nodes.
+    Returns ``(n_nodes, targets-or-None)``.
+    """
+    if value.isdigit():
+        return int(value), None
+    from .faults import campaign_size
+
+    return campaign_size(value), value
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .faults import chaos_reinstall
 
@@ -212,8 +227,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         # require the hardened stack to recover it.
         plan = "frontend-crash"
         resilience = True
+    n_nodes, targets = _campaign_nodes(args.nodes)
     result = chaos_reinstall(
-        n_nodes=args.nodes, plan=plan, seed=args.seed, resilience=resilience
+        n_nodes=n_nodes, plan=plan, seed=args.seed, resilience=resilience,
+        targets=targets,
     )
     print(result.render())
     ok = result.completion_rate >= args.min_completion
@@ -270,13 +287,15 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         if args.watch is not None:
             stack.start_watch(period=args.watch)
 
+    n_nodes, targets = _campaign_nodes(args.nodes)
     result = chaos_reinstall(
-        n_nodes=args.nodes,
+        n_nodes=n_nodes,
         plan=args.plan,
         seed=args.seed,
         resilience=args.resilience,
         monitoring=options,
         on_monitoring=on_stack,
+        targets=targets,
     )
     stack = result.monitoring
     if args.xml:
@@ -302,6 +321,44 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         f"{100 * result.completion_rate:.0f}% installed in "
         f"{result.minutes:.2f} min under plan {result.plan.name!r}"
     )
+    return 0
+
+
+def _cmd_fork(args: argparse.Namespace) -> int:
+    from .exec import ExecLab, ExecOptions, LabOptions, NodeSet
+
+    targets = args.nodes
+    if "@" in targets:
+        if args.size is None:
+            print("fork: --size is required when --nodes uses @groups",
+                  file=sys.stderr)
+            return 2
+        size = args.size
+    else:
+        # size the lab from the positional node[...] target set itself
+        indices = []
+        for name in NodeSet(targets):
+            if not (name.startswith("node") and name[4:].isdigit()):
+                print(f"fork: lab targets must look like node<i>, got {name!r}",
+                      file=sys.stderr)
+                return 2
+            indices.append(int(name[4:]))
+        size = max(max(indices) + 1, args.size or 0)
+    lab = ExecLab(LabOptions(
+        nodes=size,
+        seed=args.seed,
+        dead_fraction=args.dead,
+        straggler_fraction=args.stragglers,
+    ))
+    report = lab.run(targets, exec_options=ExecOptions(
+        fanout=args.fanout,
+        command_timeout=args.timeout,
+        max_retries=args.retries,
+        seed=args.seed,
+        straggler_interval=args.straggler_interval,
+        straggler_factor=args.straggler_factor,
+    ))
+    print(report.render())
     return 0
 
 
@@ -417,7 +474,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "chaos", help="reinstall campaign under a fault-injection plan"
     )
-    p.add_argument("--nodes", type=int, default=32)
+    p.add_argument("--nodes", default="32",
+                   help="node count, or a nodeset of campaign targets "
+                        "(node[0-4095], compute-0-[0-15], @compute)")
     from .faults import PLANS
 
     p.add_argument("--plan", default="default", choices=sorted(PLANS))
@@ -457,7 +516,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="reinstall campaign observed by the gmond/gmetad monitoring "
              "stack: cluster-top, alerts, RRD export, Ganglia XML",
     )
-    p.add_argument("--nodes", type=int, default=32)
+    p.add_argument("--nodes", default="32",
+                   help="node count, or a nodeset of campaign targets "
+                        "(node[0-4095], compute-0-[0-15], @compute)")
     from .faults import PLANS as _mon_plans
 
     p.add_argument("--plan", default="none", choices=sorted(_mon_plans),
@@ -481,6 +542,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resilience", action="store_true",
                    help="harden the frontend (supervisor+journal+breaker)")
     p.set_defaults(fn=_cmd_monitor)
+
+    p = sub.add_parser(
+        "fork",
+        help="fault-tolerant cluster-fork over a nodeset: sliding fanout "
+             "window, timeouts/retries, typed dead-node results, gathered "
+             "MsgTree report (byte-identical for the same seed)",
+    )
+    p.add_argument("--nodes", default="node[0-511]",
+                   help="nodeset of targets, e.g. node[0-4095] or "
+                        "@cabinet0 (default node[0-511])")
+    p.add_argument("--size", type=int, default=None,
+                   help="lab cluster size; required when --nodes uses "
+                        "@groups, otherwise inferred from the nodeset")
+    p.add_argument("--fanout", type=int, default=64,
+                   help="sliding-window width (concurrent nodes)")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="per-attempt command deadline in simulated seconds")
+    p.add_argument("--retries", type=int, default=2,
+                   help="extra attempts after the first")
+    p.add_argument("--dead", type=float, default=0.0,
+                   help="fraction of nodes dead (half dark, half killed "
+                        "by the PDU mid-command)")
+    p.add_argument("--stragglers", type=float, default=0.0,
+                   help="fraction of nodes running 10x slow")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--straggler-interval", type=float, default=15.0,
+                   help="straggler monitor period (simulated seconds)")
+    p.add_argument("--straggler-factor", type=float, default=3.0,
+                   help="flag nodes slower than factor x the rolling "
+                        "completion percentile")
+    p.set_defaults(fn=_cmd_fork)
 
     p = sub.add_parser(
         "trace", help="run a scenario with telemetry; dump or summarize the trace"

@@ -7,7 +7,13 @@ from .campaign import (
     NodeOutcome,
     ReinstallCampaign,
 )
-from .cluster_fork import cluster_fork, cluster_kill, targets_from_query
+from .cluster_fork import (
+    cluster_fork,
+    cluster_fork_exec,
+    cluster_kill,
+    frontend_groups,
+    targets_from_query,
+)
 from .crash_cart import CrashCart, NoVideoSignal
 from .ekv import EKV_PORT, EkvConsole, EkvUnreachable
 from .insert_ethers import APPLIANCE_BASENAMES, InsertEthers
@@ -22,7 +28,9 @@ __all__ = [
     "NodeOutcome",
     "ReinstallCampaign",
     "cluster_fork",
+    "cluster_fork_exec",
     "cluster_kill",
+    "frontend_groups",
     "targets_from_query",
     "CrashCart",
     "NoVideoSignal",

@@ -4,22 +4,41 @@
 as the user can intelligently direct the script to a subset of the
 nodes...  Any SQL query, including joins, can be fed to cluster-kill."
 
-The target list comes either from an explicit ``nodes`` list, an SQL
-``query`` returning hostnames (first column), or — the brute-force
+The target list comes from an explicit ``nodes`` list, a *nodeset
+expression* (``compute-0-[0-15],@compute`` — see :mod:`repro.exec`), an
+SQL ``query`` returning hostnames (first column), or — the brute-force
 default the paper starts from — every name with the ``compute-`` prefix
 in /etc/hosts.
+
+Two transports share that targeting:
+
+* :func:`cluster_fork` — the original synchronous rexec sweep;
+* :func:`cluster_fork_exec` — the fault-tolerant engine
+  (:class:`~repro.exec.task.ExecTask`): sliding fanout window, per-node
+  timeout/retry, typed ``NODE_DEAD`` results, gathered-output report.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
+from ...exec import ExecOptions, ExecReport, ExecTask, GroupResolver, NodeSet
 from ...scheduler import RemoteEnvironment, Rexec, RexecSession
 from ..frontend import RocksFrontend
 
-__all__ = ["cluster_fork", "cluster_kill", "targets_from_query"]
+__all__ = [
+    "cluster_fork",
+    "cluster_fork_exec",
+    "cluster_kill",
+    "frontend_groups",
+    "targets_from_query",
+]
 
 _ROOT = RemoteEnvironment(user="root", uid=0, gid=0, cwd="/root")
+
+#: targets may be a nodeset expression, an explicit name sequence, or a
+#: pre-built NodeSet
+Targets = Union[str, NodeSet, Sequence[str]]
 
 
 def targets_from_query(frontend: RocksFrontend, query: str) -> list[str]:
@@ -27,13 +46,50 @@ def targets_from_query(frontend: RocksFrontend, query: str) -> list[str]:
     return [row[0] for row in frontend.db.query(query)]
 
 
+def frontend_groups(frontend: RocksFrontend) -> GroupResolver:
+    """Group source backed by the cluster database.
+
+    ``@all`` — every compute node; ``@cabinetN`` — the nodes racked in
+    cabinet *N*; ``@<membership>`` — the nodes of that membership
+    (``@compute``, ``@nfs``, ... — case-insensitive, per Table III).
+    """
+
+    def resolve(group: str) -> list[str]:
+        db = frontend.db
+        if group == "all":
+            names = [row.name for row in db.compute_nodes()]
+            if names:
+                return names
+            raise KeyError(group)
+        if group.startswith("cabinet") and group[len("cabinet"):].isdigit():
+            rack = int(group[len("cabinet"):])
+            names = [
+                row.name for row in db.compute_nodes() if row.rack == rack
+            ]
+            if names:
+                return names
+            raise KeyError(group)
+        for _id, name, _appliance, _compute in db.memberships():
+            if name.lower() == group.lower():
+                rows = db.nodes(membership=name)
+                if rows:
+                    return [row.name for row in rows]
+        raise KeyError(group)
+
+    return resolve
+
+
 def _resolve_targets(
     frontend: RocksFrontend,
-    nodes: Optional[Sequence[str]],
+    nodes: Optional[Targets],
     query: Optional[str],
 ) -> list[str]:
     if nodes is not None and query is not None:
         raise ValueError("give either nodes or query, not both")
+    if isinstance(nodes, str):
+        return NodeSet(nodes, resolver=frontend_groups(frontend)).expand()
+    if isinstance(nodes, NodeSet):
+        return nodes.expand()
     if nodes is not None:
         return list(nodes)
     if query is not None:
@@ -49,7 +105,7 @@ def _resolve_targets(
 def cluster_fork(
     frontend: RocksFrontend,
     command,
-    nodes: Optional[Sequence[str]] = None,
+    nodes: Optional[Targets] = None,
     query: Optional[str] = None,
     environment: RemoteEnvironment = _ROOT,
 ) -> RexecSession:
@@ -58,10 +114,37 @@ def cluster_fork(
     return frontend.rexec.run(targets, command, environment)
 
 
+def cluster_fork_exec(
+    frontend: RocksFrontend,
+    command,
+    nodes: Optional[Targets] = None,
+    query: Optional[str] = None,
+    environment: RemoteEnvironment = _ROOT,
+    options: ExecOptions = ExecOptions(),
+) -> ExecReport:
+    """cluster-fork over the fault-tolerant engine; runs to completion.
+
+    Unlike :func:`cluster_fork` this survives nodes that are down, die
+    mid-command, or straggle: the returned
+    :class:`~repro.exec.task.ExecReport` classifies every target.
+    """
+    targets = _resolve_targets(frontend, nodes, query)
+    task = ExecTask(
+        frontend.env,
+        frontend.rexec,
+        options,
+        environment=environment,
+        resolver=frontend_groups(frontend),
+    )
+    driver = task.run(targets, command)
+    frontend.env.run(until=driver)
+    return driver.value
+
+
 def cluster_kill(
     frontend: RocksFrontend,
     process_name: str,
-    nodes: Optional[Sequence[str]] = None,
+    nodes: Optional[Targets] = None,
     query: Optional[str] = None,
 ) -> RexecSession:
     """Kill every process matching ``process_name`` on the selected nodes.

@@ -11,7 +11,7 @@ environment processes with a full injection log, and
 Table I mass-reinstall experiment under fire.
 """
 
-from .experiment import ChaosResult, chaos_reinstall
+from .experiment import ChaosResult, campaign_size, chaos_reinstall, select_machines
 from .injector import FaultInjector, InjectionRecord
 from .plan import (
     PLANS,
@@ -35,7 +35,9 @@ from .plan import (
 
 __all__ = [
     "ChaosResult",
+    "campaign_size",
     "chaos_reinstall",
+    "select_machines",
     "FaultInjector",
     "InjectionRecord",
     "PLANS",

@@ -19,7 +19,7 @@ from ..quickbuild import build_cluster
 from .injector import FaultInjector
 from .plan import FaultPlan, named_plan
 
-__all__ = ["ChaosResult", "chaos_reinstall"]
+__all__ = ["ChaosResult", "campaign_size", "chaos_reinstall", "select_machines"]
 
 
 @dataclass
@@ -52,6 +52,64 @@ class ChaosResult:
         return "\n".join(parts)
 
 
+def select_machines(sim, targets: str) -> list:
+    """Resolve a nodeset expression against a built cluster's machines.
+
+    Accepts the assigned hostnames (``compute-0-[0-15]``), the
+    positional aliases ``node<i>`` (the i-th integrated node — the same
+    indexing the fault-plan ``node:<i>`` selector uses), and database
+    groups (``@compute``, ``@cabinet0``) via
+    :func:`~repro.core.tools.cluster_fork.frontend_groups`.
+    """
+    from ..core.tools import frontend_groups
+    from ..exec import NodeSet
+
+    by_name = {m.hostid: m for m in sim.nodes}
+    selected = []
+    expr = NodeSet(targets, resolver=frontend_groups(sim.frontend))
+    for name in expr:
+        machine = by_name.get(name)
+        if machine is None and name.startswith("node") and name[4:].isdigit():
+            index = int(name[4:])
+            if index < len(sim.nodes):
+                machine = sim.nodes[index]
+        if machine is None:
+            raise ValueError(
+                f"target {name!r} does not match an integrated node "
+                f"(cluster has {len(sim.nodes)})"
+            )
+        if machine not in selected:
+            selected.append(machine)
+    return selected
+
+
+def campaign_size(targets: str) -> int:
+    """Smallest cluster (node count) covering a pre-build nodeset.
+
+    Only positional ``node<i>`` aliases and ``compute-<rack>-<rank>``
+    names can size a cluster that does not exist yet; groups resolve
+    against the database, which needs the cluster built first.
+    """
+    from ..exec import NodeSet
+
+    highest = -1
+    for name in NodeSet(targets):
+        if name.startswith("node") and name[4:].isdigit():
+            index = int(name[4:])
+        elif name.startswith("compute-"):
+            try:
+                rack, rank = (int(p) for p in name[len("compute-"):].split("-"))
+            except ValueError:
+                raise ValueError(f"cannot size a cluster for {name!r}") from None
+            index = rack * 32 + rank
+        else:
+            raise ValueError(f"cannot size a cluster for {name!r}")
+        highest = max(highest, index)
+    if highest < 0:
+        raise ValueError(f"empty target set {targets!r}")
+    return highest + 1
+
+
 def chaos_reinstall(
     n_nodes: int = 32,
     plan: "FaultPlan | str" = "default",
@@ -60,6 +118,7 @@ def chaos_reinstall(
     resilience=None,
     monitoring=None,
     on_monitoring=None,
+    targets: Optional[str] = None,
     **build_kwargs,
 ) -> ChaosResult:
     """Reinstall ``n_nodes`` concurrently while the plan's faults fire.
@@ -76,11 +135,18 @@ def chaos_reinstall(
     options instance.  ``on_monitoring`` is called with the
     :class:`~repro.monitoring.MonitoringStack` before the campaign runs
     (the hook the CLI uses to start a live ``--watch`` dashboard).
+    ``targets`` restricts the campaign to a nodeset expression (see
+    :func:`select_machines`); faults and monitoring still cover the
+    whole cluster, exactly like shooting a subset of a real machine
+    room.  When ``targets`` needs more nodes than ``n_nodes``, the
+    cluster grows to fit (:func:`campaign_size`).
     """
     if isinstance(plan, str):
         plan = named_plan(plan, seed)
     elif seed is not None:
         plan = plan.with_seed(seed)
+    if targets is not None:
+        n_nodes = max(n_nodes, campaign_size(targets))
     sim = build_cluster(n_compute=n_nodes, **build_kwargs)
     sim.integrate_all()
     hardening = None
@@ -106,11 +172,12 @@ def chaos_reinstall(
         if on_monitoring is not None:
             on_monitoring(stack)
     injector = FaultInjector(plan).arm(sim.frontend, sim.nodes)
+    victims = sim.nodes if targets is None else select_machines(sim, targets)
     campaign = ReinstallCampaign(sim.frontend, policy or EscalationPolicy())
-    report = sim.env.run(until=campaign.run(sim.nodes))
+    report = sim.env.run(until=campaign.run(victims))
     return ChaosResult(
         plan=plan,
-        n_nodes=n_nodes,
+        n_nodes=len(victims),
         report=report,
         injector=injector,
         resilience=hardening,

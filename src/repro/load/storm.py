@@ -29,7 +29,7 @@ from typing import Optional
 
 from ..cluster import MachineState
 from ..installer import DEFAULT_CALIBRATION, InstallCalibration
-from ..netsim import AdmissionConfig, AnyOf, Interrupt
+from ..netsim import AdmissionConfig, AllOf, AnyOf, Interrupt
 from ..quickbuild import RocksCluster, build_cluster
 from ..services.httpd import InstallReplicaSet
 from ..telemetry import Tracer
@@ -158,10 +158,14 @@ def slo_json(report: dict) -> str:
 
 
 def _settle(env, machines):
-    """Process: resolve when every machine reaches UP (in rack order)."""
-    for machine in machines:
-        while machine.state is not MachineState.UP:
-            yield machine.wait_for_state(MachineState.UP)
+    """Process: resolve once every machine has reached UP (one barrier).
+
+    All state-watches arm simultaneously, so settle time is the max over
+    machines rather than a rack-order serial walk — and a machine that
+    flaps after reaching UP cannot be missed the way a serial walk
+    misses hosts behind the cursor.
+    """
+    yield AllOf(env, [m.wait_for_state(MachineState.UP) for m in machines])
     return env.now
 
 

@@ -18,7 +18,7 @@ from .cluster import ClusterHardware, Machine, MachineState
 from .core.frontend import FrontendConfig, RocksFrontend
 from .core.tools import InsertEthers, ShootReport, shoot_nodes
 from .installer import DEFAULT_CALIBRATION, InstallCalibration
-from .netsim import Environment, SimulationError
+from .netsim import AllOf, Environment, SimulationError
 from .rpm import Repository
 from .telemetry import Tracer
 
@@ -78,9 +78,15 @@ class RocksCluster:
                 self.env.step()
             named.append(machine.hostid)
         if wait_until_up:
-            for machine in self.nodes:
-                if machine.state is not MachineState.UP:
-                    self.env.run(until=machine.wait_for_state(MachineState.UP))
+            # One barrier over every pending boot, not a serial per-host
+            # wait: integration time stays ~max(node), not ~sum(node).
+            pending = [
+                machine.wait_for_state(MachineState.UP)
+                for machine in self.nodes
+                if machine.state is not MachineState.UP
+            ]
+            if pending:
+                self.env.run(until=AllOf(self.env, pending))
         return named
 
     # -- the management primitive (§5): reinstall ---------------------------------------

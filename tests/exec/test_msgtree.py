@@ -1,0 +1,56 @@
+"""MsgTree: identical-output merging and deterministic rendering."""
+
+from repro.exec import MsgTree
+
+
+def test_identical_messages_merge_to_one_line():
+    tree = MsgTree()
+    for i in range(4096):
+        if i != 39:
+            tree.add(f"node{i}", "2.4.14-rocks")
+    rendered = tree.render()
+    assert rendered == "node[0-38,40-4095] (4095): 2.4.14-rocks"
+
+
+def test_distinct_messages_stay_separate():
+    tree = MsgTree()
+    tree.add("node0", "ok")
+    tree.add("node1", "ok")
+    tree.add("node2", "FAIL")
+    assert tree.render() == "node[0-1] (2): ok\nnode2 (1): FAIL"
+
+
+def test_multiline_messages_group_by_full_message():
+    tree = MsgTree()
+    for node in ("node0", "node1"):
+        tree.add(node, "line one")
+        tree.add(node, "line two")
+    tree.add("node2", "line one")
+    blocks = dict((msg, nodes.fold()) for msg, nodes in tree.walk())
+    assert blocks == {"line one\nline two": "node[0-1]", "line one": "node2"}
+
+
+def test_continuation_lines_are_indented_under_header():
+    tree = MsgTree()
+    tree.add("node0", "first")
+    tree.add("node0", "second")
+    lines = tree.render().split("\n")
+    assert lines[0] == "node0 (1): first"
+    assert lines[1] == " " * len("node0 (1): ") + "second"
+
+
+def test_render_order_is_by_first_node_not_insertion():
+    tree = MsgTree()
+    tree.add("node5", "late group")
+    tree.add("node0", "early group")
+    assert tree.render().splitlines()[0].startswith("node0")
+
+
+def test_insertion_order_independence():
+    a, b = MsgTree(), MsgTree()
+    rows = [(f"node{i}", "msg-a" if i % 3 else "msg-b") for i in range(100)]
+    for node, msg in rows:
+        a.add(node, msg)
+    for node, msg in reversed(rows):
+        b.add(node, msg)
+    assert a.render() == b.render()
