@@ -142,6 +142,55 @@ def run_scale(n_nodes: int, warmup: float, measure: float, seed: int) -> dict:
     }
 
 
+def check_sanitizer_off_overhead(quick_result: dict) -> int:
+    """Guard: the sanitizer must cost nothing when it is off.
+
+    Two layers.  Structurally, a default ``Environment()`` must be the
+    base class with the original hot methods — the sanitizer swaps in a
+    subclass at construction, so any branch leaking into the default
+    path shows up as an overridden ``_schedule``/``run``/``step``.
+    Empirically, the quick run must clear a generous events/sec floor
+    against the committed ``BENCH_engine.json`` 100-node figure (half,
+    to absorb CI noise — this catches "sanitizer hooks slowed the world
+    down", not single-digit regressions).
+    """
+    failures = []
+    env = Environment()
+    if type(env) is not Environment:
+        failures.append(f"default Environment() builds {type(env).__name__}")
+    for name in ("_schedule", "step", "run", "timeout_batch"):
+        if getattr(type(env), name) is not getattr(Environment, name):
+            failures.append(f"Environment.{name} is overridden by default")
+
+    try:
+        with open(BENCH_PATH) as fh:
+            committed = json.load(fh)
+        recorded = next(
+            r["events_per_sec"] for r in committed["results"]
+            if r["nodes"] == 100
+        )
+    except (OSError, KeyError, StopIteration):
+        recorded = None
+    if recorded is not None and quick_result["events_per_sec"] is not None:
+        floor = recorded // 2
+        if quick_result["events_per_sec"] < floor:
+            failures.append(
+                f"sanitizer-off throughput {quick_result['events_per_sec']} "
+                f"events/sec is below the floor {floor} (half the "
+                f"committed 100-node {recorded})"
+            )
+
+    for failure in failures:
+        print(f"OVERHEAD GUARD FAILED: {failure}")
+    if not failures:
+        print(
+            f"overhead guard: default path structurally untouched, "
+            f"{quick_result['events_per_sec']} events/sec >= floor "
+            f"{(recorded // 2) if recorded else 'n/a'}"
+        )
+    return 1 if failures else 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--nodes", type=int, nargs="+", default=[100, 1000, 10000])
@@ -196,6 +245,11 @@ def main() -> int:
             f"peak RSS={result['peak_rss_mb']:>7.1f}MB  "
             f"transfers={result['transfers']}  digest={result['digest'][:16]}"
         )
+
+    if args.quick:
+        guard = check_sanitizer_off_overhead(results[0])
+        if guard:
+            return guard
 
     pre_1k = PRE_PR_BASELINE["1000"]["events_per_sec"]
     for result in results:

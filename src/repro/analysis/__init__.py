@@ -1,6 +1,6 @@
 """repro.analysis — typed static analysis for the Rocks description layer.
 
-Two analyzer families over one diagnostics core:
+Four analyzer families over one diagnostics core:
 
 * **config analyzers** (:mod:`repro.analysis.config_passes`): semantic
   checks over the kickstart graph, node files, and rocks-dist stack —
@@ -9,7 +9,14 @@ Two analyzer families over one diagnostics core:
 * **determinism self-linter** (:mod:`repro.analysis.selfcheck`): AST
   passes over ``src/repro`` itself that flag the wall-clock / unseeded
   RNG / unordered-iteration / leaked-span bug classes earlier PRs fixed
-  by hand.
+  by hand;
+* **deep dataflow passes** (:mod:`repro.analysis.deepcheck`): a
+  project-wide symbol table + call graph feeding the RK3xx determinism
+  analyses (unseeded-RNG taint, yield-straddling staleness, unbounded
+  wait loops, order-sensitive float accumulation);
+* **dynamic sanitizer** (:mod:`repro.analysis.sanitizer`): a runtime
+  race detector that perturbs same-tick scheduling order under a seeded
+  RNG and proves races by digest divergence.
 
 Entry points::
 
@@ -20,22 +27,42 @@ Entry points::
     from repro.analysis import analyze_self, default_self_context
     diags = analyze_self(default_self_context())
 
-or ``python -m repro lint [--self] [--format json] [--strict]``.
+    from repro.analysis import analyze_deep, default_deep_context
+    diags = analyze_deep(default_deep_context())
+
+    from repro.analysis import run_scenario, diagnose_divergence
+    race = diagnose_divergence(run_scenario("table1", 1),
+                               run_scenario("table1", 2))
+
+or ``python -m repro lint [--self] [--deep] [--strict]`` and
+``python -m repro sanitize table1``.
 """
 
 from .baseline import Baseline, BaselineEntry
 from .config_passes import PROVIDED_ATTRIBUTES, ConfigContext, analyze_config
+from .deepcheck import DeepContext, analyze_deep, default_deep_context
 from .diagnostics import CODES, CodeInfo, Diagnostic, Severity, SourceLocation, code_info
 from .passes import (
     CONFIG_PASSES,
+    DEEP_PASSES,
     SELF_PASSES,
     Pass,
     filter_codes,
     register_config,
+    register_deep,
     register_self,
     run_passes,
 )
 from .render import JSON_SCHEMA_VERSION, render_json, render_text, summarize
+from .sanitizer import (
+    SCENARIOS,
+    SanitizeOptions,
+    SanitizedEnvironment,
+    SanitizerSession,
+    diagnose_divergence,
+    run_scenario,
+    sanitized,
+)
 from .selfcheck import SelfLintContext, analyze_self, default_self_context
 
 __all__ = [
@@ -45,23 +72,35 @@ __all__ = [
     "CodeInfo",
     "ConfigContext",
     "CONFIG_PASSES",
+    "DeepContext",
+    "DEEP_PASSES",
     "Diagnostic",
     "JSON_SCHEMA_VERSION",
     "Pass",
     "PROVIDED_ATTRIBUTES",
+    "SCENARIOS",
     "SELF_PASSES",
+    "SanitizeOptions",
+    "SanitizedEnvironment",
+    "SanitizerSession",
     "SelfLintContext",
     "Severity",
     "SourceLocation",
     "analyze_config",
+    "analyze_deep",
     "analyze_self",
     "code_info",
+    "default_deep_context",
     "default_self_context",
+    "diagnose_divergence",
     "filter_codes",
     "register_config",
+    "register_deep",
     "register_self",
     "render_json",
     "render_text",
+    "run_scenario",
     "run_passes",
+    "sanitized",
     "summarize",
 ]

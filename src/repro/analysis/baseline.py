@@ -13,6 +13,14 @@ mandatory by convention (the linter warns when it is missing): a
 suppression nobody can explain is a suppression nobody can ever remove.
 Matching is by exact code plus path suffix, never by line number —
 baselines must survive unrelated edits to the file.
+
+Baselines rot in the other direction too: once the underlying finding
+is fixed, its entry keeps silently suppressing nothing — and would hide
+a future regression at the same (code, path).  :meth:`Baseline.stale`
+names those dead entries after an :meth:`~Baseline.apply`, scoped to
+the codes the run could actually have emitted so a config-only run
+never condemns self-lint entries; ``repro lint --prune-baseline``
+rewrites the file without them.
 """
 
 from __future__ import annotations
@@ -111,6 +119,25 @@ class Baseline:
     def unjustified(self) -> list[BaselineEntry]:
         """Entries missing their mandatory one-line justification."""
         return [e for e in self.entries if not e.justification]
+
+    def stale(self, possible_codes: Iterable[str]) -> list[BaselineEntry]:
+        """Entries that suppressed nothing in the last :meth:`apply`.
+
+        Only entries whose code is in ``possible_codes`` — the codes the
+        run's selected passes could have emitted — are eligible: an
+        entry for a pass family that did not run is unproven, not stale.
+        """
+        possible = set(possible_codes)
+        fired = set(self.used)
+        return [
+            e for e in self.entries
+            if e.code in possible and e not in fired
+        ]
+
+    def pruned(self, stale: Iterable[BaselineEntry]) -> "Baseline":
+        """A new baseline without the given (stale) entries."""
+        drop = set(stale)
+        return Baseline(e for e in self.entries if e not in drop)
 
     def render(self) -> str:
         header = [

@@ -168,6 +168,31 @@ CODES: dict[str, CodeInfo] = {
         CodeInfo("RK207", Severity.WARNING,
                  "per-host serial wait loop over cluster membership in a "
                  "campaign surface"),
+        # -- dataflow determinism passes (RK30x, `repro lint --deep`) ------
+        CodeInfo("RK301", Severity.ERROR,
+                 "random.Random() constructed without a seed flows into "
+                 "simulation code"),
+        CodeInfo("RK302", Severity.WARNING,
+                 "snapshot of shared mutable state captured before a yield "
+                 "and consumed after it"),
+        CodeInfo("RK303", Severity.WARNING,
+                 "polling wait loop with no timeout, deadline or attempt "
+                 "bound on the path"),
+        CodeInfo("RK304", Severity.WARNING,
+                 "order-sensitive float accumulation over an unordered "
+                 "iterable in a hot path"),
+        # -- dynamic sanitizer (RK31x, `repro sanitize`) -------------------
+        CodeInfo("RK310", Severity.ERROR,
+                 "scheduling race: digests diverge across perturbation "
+                 "seeds"),
+        CodeInfo("RK311", Severity.ERROR,
+                 "unseeded module-level random.* call at runtime under a "
+                 "sanitized environment"),
+        CodeInfo("RK312", Severity.ERROR,
+                 "wall-clock read at runtime under a sanitized environment"),
+        CodeInfo("RK313", Severity.WARNING,
+                 "same object attribute written by two writers within one "
+                 "simulated tick"),
     ]
 }
 

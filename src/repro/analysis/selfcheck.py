@@ -103,7 +103,9 @@ class SelfLintContext:
     package_root: Path                    # e.g. <repo>/src/repro
     repo_root: Path                       # paths in diagnostics are relative to this
     #: package subdirectories whose loops are determinism-critical
-    hot_paths: tuple[str, ...] = ("netsim", "installer", "exec")
+    hot_paths: tuple[str, ...] = (
+        "netsim", "installer", "exec", "load", "monitoring",
+    )
     _files: Optional[list[ParsedFile]] = None
 
     @property
@@ -336,7 +338,9 @@ def check_leaked_spans(ctx: SelfLintContext):
 # -- RK206: unbounded queues on storm paths --------------------------------------
 
 #: packages (relative to the package root) where open-loop load can reach
-_QUEUE_HOT_PACKAGES = ("load", "netsim")
+#: (exec included: a 4096-target fan-out gathers output through MsgTree
+#: and per-node buffers, which an open-loop caller can grow without bound)
+_QUEUE_HOT_PACKAGES = ("load", "netsim", "exec")
 
 
 def _in_queue_hot_package(ctx: SelfLintContext, pf: ParsedFile) -> bool:

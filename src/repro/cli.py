@@ -121,14 +121,29 @@ def _parse_codes(value: Optional[str]) -> Optional[list[str]]:
     return [c.strip() for c in value.split(",") if c.strip()]
 
 
+def _possible_codes(passes, select, ignore) -> set[str]:
+    """Codes the given passes could emit after select/ignore filtering."""
+    codes = {code for p in passes for code in p.codes}
+    if select is not None:
+        codes = {c for c in codes if any(c.startswith(p) for p in select)}
+    if ignore is not None:
+        codes = {c for c in codes if not any(c.startswith(p) for p in ignore)}
+    return codes
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from .analysis import (
+        CONFIG_PASSES,
+        DEEP_PASSES,
+        SELF_PASSES,
         Baseline,
         ConfigContext,
         analyze_config,
+        analyze_deep,
         analyze_self,
+        default_deep_context,
         default_self_context,
         render_json,
         render_text,
@@ -137,9 +152,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     select = _parse_codes(args.select)
     ignore = _parse_codes(args.ignore)
 
-    if args.self:
+    if args.self or args.deep:
         ctx = default_self_context()
         diagnostics = analyze_self(ctx, select=select, ignore=ignore)
+        ran_passes = list(SELF_PASSES)
+        if args.deep:
+            diagnostics += analyze_deep(
+                default_deep_context(), select=select, ignore=ignore
+            )
+            diagnostics.sort(key=lambda d: d.sort_key)
+            ran_passes += DEEP_PASSES
         default_baseline = ctx.repo_root / "lint-baseline.txt"
     else:
         arches = tuple(a.strip() for a in args.arch.split(",") if a.strip())
@@ -161,13 +183,29 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             sources=sources,
         )
         diagnostics = analyze_config(ctx, select=select, ignore=ignore)
+        ran_passes = list(CONFIG_PASSES)
         default_baseline = Path("lint-baseline.txt")
 
+    baseline_path = args.baseline or default_baseline
     if args.no_baseline:
         baseline = Baseline()
     else:
-        baseline = Baseline.from_file(args.baseline or default_baseline)
+        baseline = Baseline.from_file(baseline_path)
     diagnostics, suppressed = baseline.apply(diagnostics)
+
+    # Baseline hygiene: an entry this run could have re-proven but did
+    # not is dead weight hiding a future regression at the same spot.
+    stale = baseline.stale(_possible_codes(ran_passes, select, ignore))
+    if stale and args.prune_baseline:
+        with open(baseline_path, "w", encoding="utf-8") as fh:
+            fh.write(baseline.pruned(stale).render())
+        for entry in stale:
+            print(f"lint: pruned stale baseline entry: {entry.render()}",
+                  file=sys.stderr)
+        stale = []
+    for entry in stale:
+        print(f"lint: warning: stale baseline entry (suppresses "
+              f"nothing): {entry.render()}", file=sys.stderr)
 
     if args.format == "json":
         sys.stdout.write(render_json(diagnostics, suppressed=len(suppressed)))
@@ -175,14 +213,65 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         if not diagnostics:
             print(
                 "lint: src/repro is consistent with the determinism rules"
-                if args.self
+                if args.self or args.deep
                 else "lint: XML infrastructure is consistent with the "
                      "distribution"
             )
         sys.stdout.write(render_text(diagnostics, suppressed=len(suppressed)))
     errors = sum(1 for d in diagnostics if d.severity.value == "error")
     failing = len(diagnostics) if args.strict else errors
+    if args.strict and stale:
+        return 1
     return 1 if failing else 0
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from .analysis import Baseline, default_self_context, render_text
+    from .analysis.sanitizer import diagnose_divergence, run_scenario
+
+    seeds = args.seeds
+    runs = []
+    for seed in seeds:
+        run = run_scenario(
+            args.scenario, seed,
+            nodes=args.nodes,
+            record_stacks=not args.no_stacks,
+        )
+        print(f"sanitize: scenario {run.scenario!r} seed {seed}: "
+              f"{len(run.dispatch_log)} dispatches, digest {run.digest}")
+        runs.append(run)
+
+    # Trap findings are per-run but point at source sites; merge and dedup.
+    merged = {}
+    for run in runs:
+        for diag in run.diagnostics:
+            merged.setdefault(
+                (diag.code, diag.location.file, diag.location.line,
+                 diag.message),
+                diag,
+            )
+    diagnostics = sorted(merged.values(), key=lambda d: d.sort_key)
+
+    report = diagnose_divergence(runs[0], runs[1])
+    if report is not None:
+        diagnostics.append(report.to_diagnostic())
+        diagnostics.sort(key=lambda d: d.sort_key)
+
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        default_baseline = default_self_context().repo_root / "lint-baseline.txt"
+        baseline = Baseline.from_file(args.baseline or default_baseline)
+    diagnostics, suppressed = baseline.apply(diagnostics)
+
+    if report is not None:
+        sys.stdout.write(report.render())
+    else:
+        print(f"sanitize: scenario {args.scenario!r} is byte-identical "
+              f"across perturbation seeds {seeds[0]} and {seeds[1]}")
+    sys.stdout.write(render_text(diagnostics, suppressed=len(suppressed)))
+    errors = sum(1 for d in diagnostics if d.severity.value == "error")
+    return 1 if (report is not None or errors) else 0
 
 
 def _cmd_reports(args: argparse.Namespace) -> int:
@@ -464,12 +553,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--self", action="store_true",
                    help="run the AST determinism linter over src/repro "
                         "instead of the config analyzers")
+    p.add_argument("--deep", action="store_true",
+                   help="also run the RK3xx dataflow determinism passes "
+                        "(symbol table + call graph over src/repro; "
+                        "implies --self)")
     p.add_argument("--baseline", default=None, metavar="PATH",
                    help="suppression baseline file "
                         "(default: lint-baseline.txt)")
     p.add_argument("--no-baseline", action="store_true",
                    help="ignore any suppression baseline")
+    p.add_argument("--prune-baseline", action="store_true",
+                   help="rewrite the baseline file without stale entries "
+                        "(entries that no longer suppress anything)")
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "sanitize",
+        help="schedule-perturbation race detector: run a scenario twice "
+             "under different same-tick tie-break seeds and compare "
+             "digests (divergence proves a scheduling race)",
+    )
+    p.add_argument("scenario", nargs="?", default="table1",
+                   help="scenario to sanitize: table1, storm, or "
+                        "race-fixture (the planted positive control)")
+    p.add_argument("--nodes", type=int, default=None,
+                   help="override the scenario's default cluster size")
+    p.add_argument("--seeds", type=int, nargs=2, default=[1, 2],
+                   metavar=("A", "B"),
+                   help="the two perturbation seeds to compare")
+    p.add_argument("--no-stacks", action="store_true",
+                   help="skip per-event scheduling-stack capture (faster; "
+                        "race reports lose their stacks)")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="suppression baseline file "
+                        "(default: lint-baseline.txt)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore any suppression baseline")
+    p.set_defaults(fn=_cmd_sanitize)
 
     p = sub.add_parser(
         "chaos", help="reinstall campaign under a fault-injection plan"

@@ -35,6 +35,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "SimulationError",
+    "set_ambient_sanitize",
 ]
 
 
@@ -326,8 +327,40 @@ class Process(Event):
             nxt.callbacks.append(self._resume)
 
 
+#: ambient sanitize options (see :func:`set_ambient_sanitize`).  ``None``
+#: means plain environments — the only value with hot-path code attached.
+_AMBIENT_SANITIZE: Any = None
+
+
+def set_ambient_sanitize(options: Any) -> Any:
+    """Set the sanitize options newly built Environments default to.
+
+    This is the hook `repro sanitize` uses to reach environments that
+    scenarios construct internally (``build_cluster``, ``run_storm``):
+    with an ambient option set, every ``Environment()`` created without
+    an explicit ``sanitize=`` argument becomes a sanitized environment.
+    Returns the previous value so callers can restore it; the
+    :func:`repro.analysis.sanitizer.sanitized` context manager does the
+    set/restore pairing.
+    """
+    global _AMBIENT_SANITIZE
+    previous = _AMBIENT_SANITIZE
+    _AMBIENT_SANITIZE = options
+    return previous
+
+
 class Environment:
-    """Holds simulated time and the pending event queue."""
+    """Holds simulated time and the pending event queue.
+
+    ``sanitize`` opts one environment into the schedule-perturbation
+    sanitizer (see :mod:`repro.analysis.sanitizer`): pass a
+    ``SanitizeOptions`` and the constructor returns a
+    ``SanitizedEnvironment`` whose tie-breaks among same-timestamp
+    events are seeded-randomly perturbed and whose dispatches are
+    logged.  The default (``None``, unless an ambient option is set)
+    builds this class unchanged — the sanitizer adds **zero** code to
+    the default scheduling and dispatch paths.
+    """
 
     __slots__ = (
         "_now",
@@ -340,7 +373,16 @@ class Environment:
         "tracer",
     )
 
-    def __init__(self, initial_time: float = 0.0):
+    def __new__(cls, initial_time: float = 0.0, sanitize: Any = None):
+        if cls is Environment:
+            options = sanitize if sanitize is not None else _AMBIENT_SANITIZE
+            if options is not None:
+                from ..analysis.sanitizer import SanitizedEnvironment
+
+                return object.__new__(SanitizedEnvironment)
+        return object.__new__(cls)
+
+    def __init__(self, initial_time: float = 0.0, sanitize: Any = None):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()

@@ -1,0 +1,46 @@
+"""The `repro sanitize` CLI: race reporting, clean scenarios, exit codes."""
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_sanitize_race_fixture_fails_with_report(capsys):
+    code, out, _ = run_cli(capsys, "sanitize", "race-fixture")
+    assert code == 1
+    assert "RACE: scenario 'race-fixture' diverges" in out
+    assert "colliding event pair" in out
+    assert "RK310" in out
+    assert "Timeout" in out  # the pair is named, with labels
+
+
+def test_sanitize_table1_small_is_clean(capsys):
+    code, out, _ = run_cli(
+        capsys, "sanitize", "table1", "--nodes", "2", "--no-stacks")
+    assert code == 0
+    assert "byte-identical across perturbation seeds" in out
+    assert "0 error(s)" in out
+    # both seed digests are printed and equal
+    digests = [line.rsplit()[-1] for line in out.splitlines()
+               if "dispatches, digest" in line]
+    assert len(digests) == 2 and digests[0] == digests[1]
+
+
+def test_sanitize_custom_seeds(capsys):
+    code, out, _ = run_cli(
+        capsys, "sanitize", "race-fixture", "--seeds", "5", "9")
+    assert code == 1
+    assert "seeds 5 and 9" in out
+
+
+def test_sanitize_unknown_scenario_errors(capsys):
+    try:
+        main(["sanitize", "not-a-scenario"])
+    except ValueError as exc:
+        assert "unknown scenario" in str(exc)
+    else:  # pragma: no cover
+        raise AssertionError("expected ValueError")
