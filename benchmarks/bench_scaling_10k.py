@@ -161,6 +161,16 @@ def check_sanitizer_off_overhead(quick_result: dict) -> int:
     for name in ("_schedule", "step", "run", "timeout_batch"):
         if getattr(type(env), name) is not getattr(Environment, name):
             failures.append(f"Environment.{name} is overridden by default")
+    # Telemetry must also be off by default: tracing-off runs ride the
+    # shared NULL_TRACER singleton, whose `enabled=False` is what every
+    # instrumented hot path checks before doing any work.
+    from repro.telemetry import NULL_TRACER
+
+    if env.tracer is not NULL_TRACER:
+        failures.append(
+            f"default Environment().tracer is {type(env.tracer).__name__}, "
+            "not the NULL_TRACER singleton"
+        )
 
     try:
         with open(BENCH_PATH) as fh:

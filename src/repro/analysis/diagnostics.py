@@ -168,6 +168,9 @@ CODES: dict[str, CodeInfo] = {
         CodeInfo("RK207", Severity.WARNING,
                  "per-host serial wait loop over cluster membership in a "
                  "campaign surface"),
+        CodeInfo("RK208", Severity.WARNING,
+                 "span opened without a parent= in instrumented simulation "
+                 "code (breaks causal attribution)"),
         # -- dataflow determinism passes (RK30x, `repro lint --deep`) ------
         CodeInfo("RK301", Severity.ERROR,
                  "random.Random() constructed without a seed flows into "

@@ -33,7 +33,15 @@ shapes, and each is mechanically detectable in the AST:
   through :class:`repro.exec.ExecTask` (sliding fanout window) or one
   ``AllOf`` barrier instead.  Intentional remnants (e.g. insert-ethers'
   sequential boot, which *binds* rack/rank to physical position) carry
-  baseline entries.
+  baseline entries;
+* **RK208** — a span opened without ``parent=`` in instrumented
+  simulation code: PR 10 made every span carry trace context
+  (``span_id``/``parent_id``/``trace_id``), and the critical-path
+  analyzer can only attribute time it can reach from a root.  An
+  unparented span is an accidental root that silently drops its
+  subtree from ``repro explain``.  Intentional roots (campaign,
+  reinstall, storm, exec fanouts) and spans that parent via the
+  ambient context carry baseline entries.
 
 The linter lints itself: ``repro lint --self`` runs these passes over
 ``src/repro`` (including this package) against the committed baseline.
@@ -162,7 +170,31 @@ def analyze_self(ctx: SelfLintContext, select=None, ignore=None):
 @register_self("RK201")
 def check_wall_clock(ctx: SelfLintContext):
     for pf in ctx.files:
+        # An aliased reference (``perf = time.perf_counter``) reads the
+        # wall clock at every later call without ever matching the Call
+        # pattern below — flag the alias itself.  Attribute nodes that
+        # ARE the func of a call are skipped here (the Call branch owns
+        # them), so nothing is reported twice.
+        call_funcs = {
+            id(node.func) for node in ast.walk(pf.tree)
+            if isinstance(node, ast.Call)
+        }
         for node in ast.walk(pf.tree):
+            if (isinstance(node, ast.Attribute)
+                    and id(node) not in call_funcs
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in pf.time_names
+                    and node.attr in _WALL_TIME_FUNCS):
+                yield ctx.diag(
+                    "RK201",
+                    f"wall-clock function time.{node.attr} aliased in "
+                    f"simulation code",
+                    pf, node,
+                    hint="read env.now (simulated time) instead; binding "
+                         "the clock to a local hides every later read "
+                         "from this lint",
+                    call=f"time.{node.attr}",
+                )
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
@@ -492,6 +524,61 @@ def check_serial_host_loops(ctx: SelfLintContext):
                      "entry when serialization is the point",
                 iterable=iter_text,
                 wait=wait,
+            )
+
+
+# -- RK208: unparented spans in instrumented code ---------------------------------
+
+
+def _is_tracer_receiver(node: ast.expr) -> bool:
+    """True when ``node`` is a tracer handle: ``tracer`` / ``env.tracer``
+    / ``self.tracer`` — any name or attribute chain ending in "tracer"."""
+    if isinstance(node, ast.Name):
+        return node.id == "tracer" or node.id.endswith("_tracer")
+    if isinstance(node, ast.Attribute):
+        return node.attr == "tracer" or node.attr.endswith("_tracer")
+    return False
+
+
+@register_self("RK208")
+def check_unparented_spans(ctx: SelfLintContext):
+    """Spans opened without ``parent=`` silently root their subtree.
+
+    The critical-path analyzer walks down from a root span; a span
+    created without trace context dangles as an accidental root, and
+    every second under it vanishes from the attribution report (the
+    exact bug the ``shoot`` span fixed: 18% of a reinstall was
+    invisible).  ``parent=None`` is fine — explicitly threading a
+    maybe-parent is the pattern — the lint only wants the decision made
+    visibly.  Intentional roots and ambient-context parenting carry
+    baseline entries, which double as the inventory of trace roots.
+    """
+    for pf in ctx.files:
+        rel_pkg = pf.path.relative_to(ctx.package_root).as_posix()
+        # The telemetry package defines the span API (and its tests of
+        # record shapes); it is not an instrumentation site.
+        if rel_pkg.startswith("telemetry/"):
+            continue
+        for node in ast.walk(pf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr in ("span", "record_span")
+                    and _is_tracer_receiver(func.value)):
+                continue
+            if any(kw.arg == "parent" for kw in node.keywords):
+                continue
+            yield ctx.diag(
+                "RK208",
+                f"tracer.{func.attr}(...) without parent= — an accidental "
+                f"trace root drops its subtree from critical-path "
+                f"attribution",
+                pf, node,
+                hint="thread the causal parent span (parent=..., possibly "
+                     "None), or add a baseline entry naming this an "
+                     "intentional root",
+                call=func.attr,
             )
 
 

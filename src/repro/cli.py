@@ -451,11 +451,35 @@ def _cmd_fork(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_traced_scenario(args: argparse.Namespace):
+    """Run the scenario named by ``args`` under a tracer; returns it."""
+    from .telemetry import Tracer
+
+    tracer = Tracer()
+    if args.scenario == "reinstall":
+        from . import build_cluster
+
+        sim = build_cluster(n_compute=args.nodes, tracer=tracer)
+        sim.integrate_all()
+        sim.reinstall_all()
+    elif args.scenario == "storm":
+        from .load import StormOptions, run_storm
+
+        result = run_storm(StormOptions(n_nodes=args.nodes,
+                                        seed=getattr(args, "seed", 42)))
+        tracer = result.tracer
+    else:  # chaos
+        from .faults import chaos_reinstall
+
+        chaos_reinstall(n_nodes=args.nodes, plan=args.plan, tracer=tracer)
+    return tracer
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .telemetry import (
-        Tracer,
         render_summary,
         summarize,
+        to_chrome_json,
         to_jsonl,
         validate_trace_text,
         write_jsonl,
@@ -471,17 +495,19 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"{args.validate}: valid {TRACE_SUMMARY_NOTE}")
         return 0
 
-    tracer = Tracer()
-    if args.scenario == "reinstall":
-        from . import build_cluster
-
-        sim = build_cluster(n_compute=args.nodes, tracer=tracer)
-        sim.integrate_all()
-        sim.reinstall_all()
-    else:  # chaos
-        from .faults import chaos_reinstall
-
-        chaos_reinstall(n_nodes=args.nodes, plan=args.plan, tracer=tracer)
+    tracer = _run_traced_scenario(args)
+    if args.format == "chrome":
+        # chrome://tracing / Perfetto trace_event JSON: one track per
+        # host/service, flow arrows for cross-node causality.
+        text = to_chrome_json(tracer)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"wrote Chrome trace to {args.out} "
+                  f"(open in chrome://tracing or ui.perfetto.dev)")
+        else:
+            print(text, end="")
+        return 0
     if args.out:
         n = write_jsonl(tracer, args.out)
         print(f"wrote {n} records to {args.out}")
@@ -492,6 +518,34 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 1
     if args.summary or not args.out:
         print(render_summary(summarize(tracer)))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Why was this run slow?  Critical-path attribution for a scenario."""
+    from .telemetry import dag_from_tracer, pick_root, render_report
+
+    if args.profile:
+        from .netsim import profiled
+
+        with profiled() as session:
+            tracer = _run_traced_scenario(args)
+    else:
+        tracer = _run_traced_scenario(args)
+    dag = dag_from_tracer(tracer)
+    root = pick_root(dag)
+    if root is None:
+        print("no spans recorded — nothing to explain")
+        return 1
+    report = render_report(dag, root, top=args.top)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+        print(f"wrote report to {args.out}")
+    else:
+        print(report)
+    if args.profile:
+        print(session.render())
     return 0
 
 
@@ -698,19 +752,49 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="run a scenario with telemetry; dump or summarize the trace"
     )
     p.add_argument("--scenario", default="reinstall",
-                   choices=["reinstall", "chaos"])
+                   choices=["reinstall", "chaos", "storm"])
     p.add_argument("--nodes", type=int, default=8)
     from .faults import PLANS as _plans
 
     p.add_argument("--plan", default="default", choices=sorted(_plans),
                    help="fault plan for --scenario chaos")
+    p.add_argument("--seed", type=int, default=42,
+                   help="scenario seed (storm)")
+    p.add_argument("--format", default="jsonl", choices=["jsonl", "chrome"],
+                   help="output format: repro-trace JSONL (default) or "
+                        "Chrome trace_event JSON for chrome://tracing / "
+                        "Perfetto")
     p.add_argument("--out", default=None,
-                   help="write the trace as JSONL to this path")
+                   help="write the trace to this path")
     p.add_argument("--summary", action="store_true",
                    help="print the aggregated summary (default when no --out)")
     p.add_argument("--validate", metavar="PATH", default=None,
                    help="validate an existing JSONL trace file and exit")
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "explain",
+        help="why was this run slow?  trace a scenario, reconstruct the "
+             "span DAG, and attribute the critical path to named "
+             "resources (byte-identical for a fixed seed)",
+    )
+    p.add_argument("scenario", nargs="?", default="reinstall",
+                   choices=["reinstall", "chaos", "storm"],
+                   help="scenario to trace and explain (default reinstall)")
+    p.add_argument("--nodes", type=int, default=8)
+    p.add_argument("--plan", default="default", choices=sorted(_plans),
+                   help="fault plan for the chaos scenario")
+    p.add_argument("--seed", type=int, default=42,
+                   help="scenario seed (storm)")
+    p.add_argument("--top", type=int, default=None, metavar="N",
+                   help="show only the N biggest resources")
+    p.add_argument("--out", default=None,
+                   help="write the report to this path instead of stdout")
+    p.add_argument("--profile", action="store_true",
+                   help="also run the engine self-profiler and print "
+                        "where the wall time went (diagnostic; not "
+                        "byte-stable)")
+    p.set_defaults(fn=_cmd_explain)
 
     p = sub.add_parser("reports", help="database-derived config files (§6.4)")
     p.add_argument("--nodes", type=int, default=4)

@@ -113,6 +113,10 @@ class Machine:
         self.install_driver: Optional[InstallDriver] = None
         self.install_count = 0
         self.last_install_report: Any = None
+        #: tracer span of whatever caused the next installation (a
+        #: campaign's per-node span, a mass-reinstall root); the install
+        #: driver parents its span here.  None = the install is a root.
+        self.trace_parent: Optional[Any] = None
 
         self._lifecycle: Optional[Process] = None
         self._install_proc: Optional[Process] = None
@@ -264,6 +268,18 @@ class Machine:
             ]
 
     def _run_lifecycle(self) -> Generator:
+        tracer = self.env.tracer
+        boot_span = None
+        if tracer.enabled and self.trace_parent is not None:
+            # One span per caused boot attempt, POST through multi-user
+            # UP, parented on whatever triggered it (a shoot, a storm's
+            # power restore).  The install nests inside it, so the dark
+            # POST/OS-boot windows attribute as node-boot time instead
+            # of vanishing into root self-time.
+            boot_span = tracer.span("boot", self.hostid,
+                                    parent=self.trace_parent)
+            self.trace_parent = boot_span
+        outcome = "hung"
         try:
             # POST: the administrator is "in the dark" here (§4) — nothing
             # is visible over Ethernet until Linux configures the NIC.
@@ -297,14 +313,23 @@ class Machine:
             yield self.env.timeout(self.boot_times.boot_os)
             self.console_write("multi-user boot complete")
             self._set_state(MachineState.UP)
+            outcome = "up"
         except Interrupt as interrupt:
             self.console_write(f"lifecycle interrupted: {interrupt.cause}")
+            outcome = "interrupted"
             # Cascade: a running installation dies with its machine.
             child = self._install_proc
             self._install_proc = None
             if child is not None and child.is_alive:
                 child.interrupt(interrupt.cause)
             return
+        finally:
+            if boot_span is not None:
+                boot_span.end(outcome=outcome)
+                if self.trace_parent is boot_span:
+                    # The causal link is consumed: a later, uncaused
+                    # boot must not parent on this ended span.
+                    self.trace_parent = None
 
     # -- disks ----------------------------------------------------------------
     def root_partition(self) -> Optional[Partition]:

@@ -148,7 +148,7 @@ class ReinstallCampaign:
                 else None
             )
             procs = [
-                env.process(self._drive(m), name=f"campaign:{m.hostid}")
+                env.process(self._drive(m, span), name=f"campaign:{m.hostid}")
                 for m in targets
             ]
             node_reports = yield AllOf(env, procs)
@@ -163,14 +163,14 @@ class ReinstallCampaign:
 
         return env.process(supervise(), name=f"campaign:x{len(targets)}")
 
-    def _drive(self, machine: Machine) -> Generator:
+    def _drive(self, machine: Machine, campaign_span=None) -> Generator:
         """One node's escalation ladder: ethernet → retry → PDU → dead."""
         env = self.frontend.env
         policy = self.policy
         tracer = env.tracer
         t0 = env.now
         span = (
-            tracer.span("campaign-node", machine.hostid)
+            tracer.span("campaign-node", machine.hostid, parent=campaign_span)
             if tracer.enabled
             else None
         )
@@ -184,7 +184,7 @@ class ReinstallCampaign:
             force_pdu = attempt > policy.ethernet_attempts
             if tracer.enabled and force_pdu:
                 tracer.event(
-                    "campaign-escalation", machine.hostid,
+                    "campaign-escalation", machine.hostid, parent=span,
                     attempt=attempt, method="pdu", after=str(error or ""),
                 )
             report = yield shoot_node(
@@ -192,12 +192,13 @@ class ReinstallCampaign:
                 machine,
                 deadline=policy.attempt_deadline,
                 force_pdu=force_pdu,
+                parent=span,
             )
             methods.append(report.method)
             shoots.append(report)
             if tracer.enabled:
                 tracer.event(
-                    "campaign-attempt", machine.hostid,
+                    "campaign-attempt", machine.hostid, parent=span,
                     attempt=attempt, method=report.method, ok=report.ok,
                 )
             if report.ok:

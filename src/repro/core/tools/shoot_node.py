@@ -73,6 +73,7 @@ def shoot_node(
     machine: Machine,
     deadline: Optional[float] = None,
     force_pdu: bool = False,
+    parent=None,
 ) -> Process:
     """Reinstall one node; the process yields a :class:`ShootReport`.
 
@@ -80,9 +81,11 @@ def shoot_node(
     without one, shoot-node watches forever, as the original tool did.
     ``force_pdu`` skips the Ethernet attempt — the escalation step a
     campaign supervisor takes after a soft reinstall already failed.
+    ``parent`` (a tracer span) is stashed on the machine so the install
+    it triggers parents on the shooter's span.
     """
     return frontend.env.process(
-        _shoot(frontend, machine, deadline, force_pdu),
+        _shoot(frontend, machine, deadline, force_pdu, parent),
         name=f"shoot-node:{machine.hostid}",
     )
 
@@ -91,6 +94,7 @@ def shoot_nodes(
     frontend: RocksFrontend,
     machines: list[Machine],
     deadline: Optional[float] = None,
+    parent=None,
 ) -> Process:
     """Reinstall many nodes concurrently; yields a list of reports.
 
@@ -101,7 +105,10 @@ def shoot_nodes(
     env = frontend.env
 
     def run_all() -> Generator:
-        procs = [shoot_node(frontend, m, deadline=deadline) for m in machines]
+        procs = [
+            shoot_node(frontend, m, deadline=deadline, parent=parent)
+            for m in machines
+        ]
         reports = yield AllOf(env, procs)
         return list(reports)
 
@@ -113,11 +120,45 @@ def _shoot(
     machine: Machine,
     deadline: Optional[float],
     force_pdu: bool,
+    parent=None,
 ) -> Generator:
     env = frontend.env
     report = ShootReport(
         host=machine.hostid, method="ethernet", started_at=env.now
     )
+    # One span per shoot, covering the whole wall-to-wall window (reboot,
+    # POST, install, OS boot, the wait for UP) — the per-node unit a
+    # critical-path walk attributes as node-boot time.  The install the
+    # shoot triggers parents here via machine.trace_parent.
+    span = (
+        env.tracer.span("shoot", machine.hostid, parent=parent)
+        if env.tracer.enabled
+        else None
+    )
+    if env.tracer.enabled:
+        machine.trace_parent = span
+    try:
+        report = yield from _shoot_body(
+            frontend, machine, deadline, force_pdu, report, span
+        )
+        return report
+    finally:
+        if span is not None:
+            span.end(
+                outcome="ok" if report.ok else "failed",
+                method=report.method,
+            )
+
+
+def _shoot_body(
+    frontend: RocksFrontend,
+    machine: Machine,
+    deadline: Optional[float],
+    force_pdu: bool,
+    report: ShootReport,
+    span,
+) -> Generator:
+    env = frontend.env
     reachable = (
         not force_pdu
         and machine.state is MachineState.UP
@@ -140,6 +181,7 @@ def _shoot(
 
     # "pops open an xterm window which displays the status" — the eKV view
     report.ekv = EkvConsole(frontend.cluster, machine)
+    t_wait = env.now
     up = machine.wait_for_state(MachineState.UP)
     if deadline is None:
         yield up
@@ -153,6 +195,14 @@ def _shoot(
                 report.error = "node hung during reinstallation"
             else:
                 report.error = f"not back up after {deadline:.0f}s"
+            if env.tracer.enabled:
+                # The whole attempt window was spent waiting on a node
+                # that never answered: straggler time a critical-path
+                # analysis must see as "dead-wait", not silence.
+                env.tracer.record_span(
+                    "dead-wait", machine.hostid, t_wait, parent=span,
+                    method=report.method, error=report.error,
+                )
             return report
     report.finished_at = env.now
     return report

@@ -200,13 +200,16 @@ class _TaskState:
 
     __slots__ = (
         "names", "command", "launched", "active", "results",
-        "durations", "flagged", "started", "done",
+        "durations", "flagged", "started", "done", "span",
     )
 
     def __init__(self, names: list[str], command: RemoteCommand, done) -> None:
         self.names = names
         self.command = command
         self.launched = 0
+        #: the fanout's root `exec` span (None when tracing is off);
+        #: per-node `exec-node` spans parent here
+        self.span = None
         #: node -> attempt start time, insertion-ordered (live window)
         self.active: dict[str, float] = {}
         #: node -> NodeResult, completion order (render paths re-sort)
@@ -269,11 +272,12 @@ class ExecTask:
         state.started = env.now
         tracer = env.tracer
         span = (
-            tracer.span("exec-task", f"x{len(names)}",
+            tracer.span("exec", f"x{len(names)}",
                         targets=len(names), fanout=self.options.fanout)
             if tracer.enabled
             else None
         )
+        state.span = span
         if not names:
             done.succeed()
         else:
@@ -330,6 +334,27 @@ class ExecTask:
             node=name, state=ExecState.OK, exit_code=None,
             attempts=0, started_at=env.now,
         )
+        node_span = (
+            env.tracer.span("exec-node", name, parent=state.span,
+                            host=name, rank=rank)
+            if env.tracer.enabled
+            else None
+        )
+        try:
+            result = yield from self._attempts(
+                state, name, rank, rng, result, node_span
+            )
+        finally:
+            if node_span is not None:
+                node_span.end(
+                    outcome=result.state.value, attempts=result.attempts
+                )
+        return result
+
+    def _attempts(self, state: _TaskState, name: str, rank: int, rng,
+                  result: NodeResult, node_span=None) -> Generator:
+        env = self.env
+        opts = self.options
         while True:
             result.attempts += 1
             state.active[name] = env.now
@@ -382,7 +407,15 @@ class ExecTask:
                 return result
             delay = opts.backoff * opts.backoff_factor ** (result.attempts - 1)
             delay *= 1.0 + opts.jitter * rng.random()
-            yield env.timeout(delay)
+            if env.tracer.enabled:
+                # Backoff between command attempts: straggler time the
+                # critical-path analyzer attributes to retry chains.
+                with env.tracer.span("exec-retry", name, parent=node_span,
+                                     host=name, attempt=result.attempts,
+                                     delay=delay):
+                    yield env.timeout(delay)
+            else:
+                yield env.timeout(delay)
 
     def _straggle_monitor(self, state: _TaskState) -> Generator:
         """Flag in-flight nodes running far behind the completed pack."""
@@ -407,6 +440,7 @@ class ExecTask:
                     state.flagged[name] = None
                     if env.tracer.enabled:
                         env.tracer.event(
-                            "exec-straggler", name,
+                            "exec-straggler", name, parent=state.span,
+                            host=name,
                             elapsed=env.now - started, threshold=threshold,
                         )

@@ -66,22 +66,29 @@ class FaultInjector:
         #: the byte-identity reference for crash-recovery verification.
         self.snapshots: list[str] = []
         self._armed = False
+        self._parent = None  # tracer span all injections parent on
+        self._site_down_at: Optional[float] = None  # start of a site outage
 
     # -- the public surface ------------------------------------------------
     def arm(
         self,
         frontend: RocksFrontend,
         targets: Sequence[Machine] = (),
+        parent=None,
     ) -> "FaultInjector":
         """Schedule every fault in the plan against ``frontend``.
 
         ``targets`` are the campaign's victim pool for node-level faults
         (``NodeHang``/``NodeCrash``) and the ``node:<i>`` host selector.
+        ``parent`` (a tracer span, e.g. a storm driver's root) becomes
+        the parent of every fault record the injector emits, so traces
+        show *what scenario* caused each perturbation.
         Arming is idempotent-hostile by design: arm once per run.
         """
         if self._armed:
             raise RuntimeError("fault plan already armed")
         self._armed = True
+        self._parent = parent
         env = frontend.env
         targets = list(targets)
         corruptions: list[tuple[PackageCorruption, random.Random]] = []
@@ -108,10 +115,25 @@ class FaultInjector:
                          [header, "  (no injections fired)"])
 
     # -- delivery ----------------------------------------------------------
-    def _record(self, env, kind: str, target: str, detail: str = "") -> None:
+    def _record(self, env, kind: str, target: str, detail: str = "",
+                parent=None) -> None:
         self.log.append(InjectionRecord(env.now, kind, target, detail))
         if env.tracer.enabled:
-            env.tracer.event("fault", kind, target=target, detail=detail)
+            env.tracer.event("fault", kind, parent=parent or self._parent,
+                             target=target, detail=detail)
+
+    def _fault_span(self, env, fault: Fault):
+        """Open a ``fault`` span covering a windowed fault's lifetime.
+
+        Only faults with a duration (outages, degrades, flaps) get
+        spans: a window is an interval the critical-path analyzer can
+        attribute time to.  Instantaneous deliveries stay events.
+        """
+        if not env.tracer.enabled:
+            return None
+        return env.tracer.span(
+            "fault", fault.describe(), parent=self._parent
+        )
 
     def _deliver(
         self,
@@ -153,18 +175,29 @@ class FaultInjector:
             raise ValueError(
                 f"unknown service {fault.service!r}; have {sorted(services)}"
             ) from None
-        service.fail()
+        span = self._fault_span(env, fault) if fault.duration else None
+        # Synchronous: ambient context parents the service's own
+        # fail/repair events on the fault window.
+        with env.tracer.context(span):
+            service.fail()
         self._record(env, "service-fail", fault.service,
-                     f"repair in {fault.duration:g}s" if fault.duration else "no repair")
+                     f"repair in {fault.duration:g}s" if fault.duration else "no repair",
+                     parent=span)
         if fault.duration:
             yield env.timeout(fault.duration)
-            service.repair()
-            self._record(env, "service-repair", fault.service)
+            with env.tracer.context(span):
+                service.repair()
+            self._record(env, "service-repair", fault.service, parent=span)
+            if span is not None:
+                span.end(outcome="repaired")
 
     def _deliver_frontend_crash(self, env, frontend, fault: FrontendCrash) -> None:
         # Snapshot first: this is the state recovery must reproduce.
         self.snapshots.append(frontend.db.snapshot())
-        frontend.crash(lose_database=fault.lose_database)
+        # Context parents the frontend-crash event and the service-stop
+        # cascade on whatever scenario armed this injector.
+        with env.tracer.context(self._parent):
+            frontend.crash(lose_database=fault.lose_database)
         self._record(
             env,
             "frontend-crash",
@@ -184,13 +217,17 @@ class FaultInjector:
             raise ValueError(
                 f"unknown service {fault.service!r}; have {sorted(services)}"
             ) from None
+        span = self._fault_span(env, fault)
         for cycle in range(1, fault.times + 1):
             if not service.faulted:
-                service.fail()
+                with env.tracer.context(span):
+                    service.fail()
             self._record(env, "service-flap", fault.service,
-                         f"kill {cycle}/{fault.times}")
+                         f"kill {cycle}/{fault.times}", parent=span)
             if cycle < fault.times:
                 yield env.timeout(fault.period)
+        if span is not None:
+            span.end(kills=fault.times)
 
     def _resolve_machine(
         self, frontend: RocksFrontend, targets: list[Machine], selector: str
@@ -205,28 +242,34 @@ class FaultInjector:
         machine = self._resolve_machine(frontend, targets, fault.host)
         network = frontend.cluster.network
         original = network.host(machine.mac).speed
+        span = self._fault_span(env, fault)
         network.set_host_speed(machine.mac, original * fault.factor)
         self._record(env, "link-degrade", machine.hostid,
-                     f"x{fault.factor:g} for {fault.duration:g}s")
+                     f"x{fault.factor:g} for {fault.duration:g}s", parent=span)
         yield env.timeout(fault.duration)
         network.set_host_speed(machine.mac, original)
-        self._record(env, "link-restore", machine.hostid)
+        self._record(env, "link-restore", machine.hostid, parent=span)
+        if span is not None:
+            span.end(host=machine.hostid, factor=fault.factor)
 
     def _deliver_flap(self, env, frontend, targets, fault: LinkFlap) -> Generator:
         machine = self._resolve_machine(frontend, targets, fault.host)
         network = frontend.cluster.network
+        span = self._fault_span(env, fault)
         for cycle in range(1, fault.flaps + 1):
             network.set_host_up(machine.mac, False)
             self._record(env, "link-down", machine.hostid,
-                         f"flap {cycle}/{fault.flaps}")
+                         f"flap {cycle}/{fault.flaps}", parent=span)
             yield env.timeout(fault.down_seconds)
             # Restore truthfully: sync against the OS state, so a link is
             # not forced up on a host that hung or powered off meanwhile.
             frontend.cluster.sync_link_state(machine)
             self._record(env, "link-up", machine.hostid,
-                         f"flap {cycle}/{fault.flaps}")
+                         f"flap {cycle}/{fault.flaps}", parent=span)
             if cycle < fault.flaps:
                 yield env.timeout(fault.up_seconds)
+        if span is not None:
+            span.end(host=machine.hostid, flaps=fault.flaps)
 
     def _deliver_node_fault(self, env, targets, fault, rng: random.Random) -> None:
         if fault.node is not None:
@@ -236,6 +279,10 @@ class FaultInjector:
             k = min(fault.count, len(pool))
             victims = rng.sample(pool, k) if k else []
         for machine in victims:
+            if env.tracer.enabled:
+                # The recovery reinstall this fault forces should trace
+                # back to the scenario that injected it.
+                machine.trace_parent = self._parent
             if isinstance(fault, NodeHang):
                 machine.hang(cause="injected fault")
                 self._record(env, "node-hang", machine.hostid)
@@ -258,6 +305,10 @@ class FaultInjector:
                     continue
                 powered = machine.power is PowerState.ON
                 if restore and not powered:
+                    if env.tracer.enabled:
+                        # Every install in the restore herd traces back
+                        # to the scenario that re-energized the site.
+                        machine.trace_parent = self._parent
                     cabinet.pdu.power_on(outlet)
                     affected += 1
                 elif not restore and powered:
@@ -267,6 +318,19 @@ class FaultInjector:
         detail = (f"{affected} nodes re-energized" if restore
                   else f"{affected} nodes lost power")
         self._record(env, kind, "site", detail)
+        # The dark window between failure and restore is wall-to-wall
+        # time nothing can make progress in; give it a retrospective
+        # span so `repro explain` names it instead of folding it into
+        # the scenario root's self-time.
+        if restore:
+            if env.tracer.enabled and self._site_down_at is not None:
+                env.tracer.record_span(
+                    "fault", "site-outage", self._site_down_at,
+                    parent=self._parent, nodes=affected,
+                )
+            self._site_down_at = None
+        else:
+            self._site_down_at = env.now
 
     def _install_corruption_hook(
         self,

@@ -79,6 +79,7 @@ def fetch_with_retry(
     say: Callable[[str], None] = lambda line: None,
     expect_checksum: str = "",
     stats: Optional[dict] = None,
+    parent=None,
 ):
     """Fetch with a timeout, bounded retries, and checksum verification.
 
@@ -88,6 +89,10 @@ def fetch_with_retry(
     as a failed attempt and is re-fetched.  ``stats`` (if given) gets
     ``retries``/``corrupt`` counters incremented.  Raises
     :class:`InstallError` once ``cal.download_max_attempts`` is spent.
+
+    ``parent`` (a tracer span) parents the retry telemetry: each
+    backoff sleep becomes a ``retry-wait`` span, so a critical-path
+    analysis can attribute time lost to retry chains.
     """
     attempt = 0
     while True:
@@ -112,7 +117,8 @@ def fetch_with_retry(
                 failure = f"no data for {cal.download_timeout_seconds:.0f}s"
                 if env.tracer.enabled:
                     env.tracer.event(
-                        "download-timeout", what, attempt=attempt,
+                        "download-timeout", what, parent=parent,
+                        attempt=attempt,
                         timeout=cal.download_timeout_seconds,
                     )
             elif not fetch.ok:
@@ -130,7 +136,8 @@ def fetch_with_retry(
         if attempt >= cal.download_max_attempts:
             if env.tracer.enabled:
                 env.tracer.event(
-                    "download-failed", what, attempts=attempt, failure=failure
+                    "download-failed", what, parent=parent,
+                    attempts=attempt, failure=failure,
                 )
             raise InstallError(
                 f"{what}: giving up after {attempt} attempts ({failure})"
@@ -139,7 +146,8 @@ def fetch_with_retry(
             stats["retries"] = stats.get("retries", 0) + 1
         if env.tracer.enabled:
             env.tracer.event(
-                "download-retry", what, attempt=attempt, failure=failure
+                "download-retry", what, parent=parent,
+                attempt=attempt, failure=failure,
             )
             env.tracer.metrics.inc("install.download_retries")
         backoff = cal.download_backoff(attempt)
@@ -151,15 +159,23 @@ def fetch_with_retry(
             if env.tracer.enabled:
                 env.tracer.metrics.inc("install.retry_after_honored")
         say(f"{what}: {failure}; retrying in {backoff:.0f}s")
-        yield env.timeout(backoff)
+        if env.tracer.enabled:
+            # The backoff sleep is dead time on the install's critical
+            # path — trace it so `repro explain` can name it.
+            with env.tracer.span("retry-wait", what, parent=parent,
+                                 attempt=attempt, backoff=backoff):
+                yield env.timeout(backoff)
+        else:
+            yield env.timeout(backoff)
 
 
 class InstallSource:
     """Protocol the installer pulls from (an InstallServer or LoadBalancer).
 
-    Must provide ``fetch_kickstart(client) -> Process`` whose response
-    body is an :class:`InstallProfile`, and
-    ``fetch_package(client, dist, pkg, max_rate) -> Process``.
+    Must provide ``fetch_kickstart(client, parent=None) -> Process``
+    whose response body is an :class:`InstallProfile`, and
+    ``fetch_package(client, dist, pkg, max_rate, parent=None) ->
+    Process``; ``parent`` threads trace context into the HTTP layer.
     """
 
 
@@ -224,22 +240,39 @@ class KickstartInstaller:
             if self.on_progress is not None:
                 self.on_progress(machine, line)
 
+        phase_span = None
+
         def enter(phase: str) -> float:
             # Advertised on the machine so monitoring agents (and eKV)
-            # can report which phase an installation is sitting in.
+            # can report which phase an installation is sitting in.  The
+            # phase opens as a live span under the install span, so the
+            # HTTP fetches it issues can nest inside it.
+            nonlocal phase_span
             machine.install_phase = phase
+            if tracer.enabled:
+                phase_span = tracer.span(
+                    "install-phase", phase, parent=span, host=machine.hostid
+                )
             return env.now
 
         def mark(phase: str, t0: float) -> None:
+            nonlocal phase_span
             report.phase_seconds[phase] = (
                 report.phase_seconds.get(phase, 0.0) + env.now - t0
             )
-            if tracer.enabled:
-                tracer.record_span(
-                    "install-phase", phase, t0, host=machine.hostid
-                )
+            if phase_span is not None:
+                phase_span.end()
+                phase_span = None
 
-        span = tracer.span("install", machine.hostid) if tracer.enabled else None
+        # The install span parents on whatever caused this installation
+        # (a campaign's per-node span, an exec fanout, a storm) — the
+        # shooter stashes its span on the machine before power-cycling.
+        span = (
+            tracer.span("install", machine.hostid,
+                        parent=machine.trace_parent)
+            if tracer.enabled
+            else None
+        )
         if tracer.enabled:
             tracer.metrics.adjust("installs.concurrent", 1)
         outcome = "failed"
@@ -256,11 +289,14 @@ class KickstartInstaller:
             t0 = enter("kickstart")
             resp = yield from fetch_with_retry(
                 env,
-                lambda: self.source.fetch_kickstart(machine.mac),
+                lambda: self.source.fetch_kickstart(
+                    machine.mac, parent=phase_span
+                ),
                 cal,
                 "kickstart",
                 say,
                 stats=stats,
+                parent=phase_span,
             )
             profile: InstallProfile = resp.body
             if not isinstance(profile, InstallProfile):
@@ -306,12 +342,14 @@ class KickstartInstaller:
                         profile.dist_name,
                         pkg,
                         max_rate=cal.single_stream_rate,
+                        parent=phase_span,
                     ),
                     cal,
                     pkg.nvr,
                     say,
                     expect_checksum=pkg.checksum,
                     stats=stats,
+                    parent=phase_span,
                 )
                 yield env.timeout(
                     cal.cpu_install_seconds(pkg.size, hw.relative_cpu_speed)
@@ -377,6 +415,11 @@ class KickstartInstaller:
             machine.install_phase = None
             if tracer.enabled:
                 tracer.metrics.adjust("installs.concurrent", -1)
+            if phase_span is not None:
+                # The installation died mid-phase: close the phase span
+                # with the install's verdict instead of leaking it open.
+                phase_span.end(outcome=outcome)
+                phase_span = None
             if span is not None:
                 span.end(
                     outcome=outcome,

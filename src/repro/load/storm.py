@@ -230,6 +230,12 @@ def run_storm(
             ),
         )
 
+    # Root span for the whole storm: fault injections parent on it
+    # directly, and every install in the restore herd reaches it through
+    # Machine.trace_parent — one causality tree for `repro explain`.
+    storm_span = tracer.span(
+        "storm", f"x{opts.n_nodes}", nodes=opts.n_nodes, seed=opts.seed
+    )
     plan = FaultPlan(
         "power-restore",
         (
@@ -238,7 +244,7 @@ def run_storm(
         ),
         seed=opts.seed,
     )
-    injector = FaultInjector(plan).arm(frontend, sim.nodes)
+    injector = FaultInjector(plan).arm(frontend, sim.nodes, parent=storm_span)
 
     t_restore = t_integrated + opts.restore_at
     # Let the power events fire, then race recovery against the deadline.
@@ -256,6 +262,9 @@ def run_storm(
             pass
     if autoscaler is not None:
         autoscaler.stop()
+    storm_span.end(
+        stable=stable, outcome="stable" if stable else "deadline"
+    )
 
     report = _slo_report(
         opts, sim, tracer, t_restore, stable, t_stable, autoscaler

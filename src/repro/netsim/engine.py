@@ -36,6 +36,7 @@ __all__ = [
     "AnyOf",
     "SimulationError",
     "set_ambient_sanitize",
+    "set_ambient_profile",
 ]
 
 
@@ -331,6 +332,10 @@ class Process(Event):
 #: means plain environments — the only value with hot-path code attached.
 _AMBIENT_SANITIZE: Any = None
 
+#: ambient profile options (see :func:`set_ambient_profile`); same
+#: construction-time swap, to :class:`repro.netsim.profiler.ProfiledEnvironment`.
+_AMBIENT_PROFILE: Any = None
+
 
 def set_ambient_sanitize(options: Any) -> Any:
     """Set the sanitize options newly built Environments default to.
@@ -346,6 +351,23 @@ def set_ambient_sanitize(options: Any) -> Any:
     global _AMBIENT_SANITIZE
     previous = _AMBIENT_SANITIZE
     _AMBIENT_SANITIZE = options
+    return previous
+
+
+def set_ambient_profile(options: Any) -> Any:
+    """Set the profile options newly built Environments default to.
+
+    The engine self-profiler's ambient hook (see
+    :mod:`repro.netsim.profiler`): with one set, every plain
+    ``Environment()`` becomes a ``ProfiledEnvironment``.  An ambient
+    *sanitize* option takes precedence — the sanitizer's verdict relies
+    on owning the dispatch loop.  Returns the previous value; the
+    :func:`repro.netsim.profiler.profiled` context manager does the
+    set/restore pairing.
+    """
+    global _AMBIENT_PROFILE
+    previous = _AMBIENT_PROFILE
+    _AMBIENT_PROFILE = options
     return previous
 
 
@@ -373,13 +395,18 @@ class Environment:
         "tracer",
     )
 
-    def __new__(cls, initial_time: float = 0.0, sanitize: Any = None):
+    def __new__(cls, initial_time: float = 0.0, sanitize: Any = None,
+                profile: Any = None):
         if cls is Environment:
             options = sanitize if sanitize is not None else _AMBIENT_SANITIZE
             if options is not None:
                 from ..analysis.sanitizer import SanitizedEnvironment
 
                 return object.__new__(SanitizedEnvironment)
+            if profile is not None or _AMBIENT_PROFILE is not None:
+                from .profiler import ProfiledEnvironment
+
+                return object.__new__(ProfiledEnvironment)
         return object.__new__(cls)
 
     def __init__(self, initial_time: float = 0.0, sanitize: Any = None):

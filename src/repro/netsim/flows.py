@@ -192,6 +192,11 @@ class FlowNetwork:
     def __init__(self, env: Environment, incremental: bool = True):
         self.env = env
         self._incremental = incremental
+        # Construction-time only: a profiled environment wants refill
+        # counts, so hand it this network (plain envs have no .profile).
+        profiler = getattr(env, "profile", None)
+        if profiler is not None:
+            profiler.note_network(self)
         # dict-as-set: insertion-ordered, so rate credits and completion
         # seqs are assigned in a run-to-run deterministic order.
         self._flows: dict[Flow, None] = {}
@@ -220,8 +225,14 @@ class FlowNetwork:
         size: float,
         max_rate: Optional[float] = None,
         label: str = "",
+        parent=None,
     ) -> Flow:
-        """Start a transfer; returns the :class:`Flow` (wait on ``flow.done``)."""
+        """Start a transfer; returns the :class:`Flow` (wait on ``flow.done``).
+
+        ``parent`` (a tracer span) parents the flow's span, threading
+        trace context from whatever caused the transfer (an HTTP GET, a
+        monitoring push) down to the wire.
+        """
         if size < 0:
             raise ValueError(f"transfer size must be non-negative, got {size!r}")
         if max_rate is not None and max_rate <= 0:
@@ -229,11 +240,23 @@ class FlowNetwork:
         flow = Flow(self, tuple(path), size, max_rate, label)
         tracer = self.env.tracer
         if tracer.enabled:
+            # The narrowest link on the path is the flow's best-case
+            # bottleneck — what the critical-path analyzer names when a
+            # transfer's time is attributed to "link X saturation".
+            bottleneck = min(
+                flow.path,
+                key=lambda link: (
+                    math.inf if link.capacity is None else link.capacity
+                ),
+                default=None,
+            )
             flow._span = tracer.span(
                 "flow",
                 label or "flow",
+                parent=parent,
                 size=float(size),
                 links=[link.name for link in flow.path],
+                bottleneck=bottleneck.name if bottleneck is not None else "",
             )
         if size == 0:
             flow.finished_at = self.env.now
@@ -253,6 +276,12 @@ class FlowNetwork:
     @property
     def active_flows(self) -> int:
         return len(self._flows)
+
+    @property
+    def reallocations(self) -> int:
+        """Fair-share refills performed so far (the engine self-profiler
+        reports this as a hot-path health number)."""
+        return self._epoch
 
     def flows_through(self, link: Link) -> list[Flow]:
         """Snapshot of the in-flight flows whose path crosses ``link``.

@@ -246,18 +246,25 @@ class HttpServer:
 
     # -- request path -------------------------------------------------------
     def get(
-        self, client: str, path: str, max_rate: Optional[float] = None
+        self, client: str, path: str, max_rate: Optional[float] = None,
+        parent=None,
     ) -> Process:
-        """GET ``path`` from ``client``; yields an HttpResponse process."""
+        """GET ``path`` from ``client``; yields an HttpResponse process.
+
+        ``parent`` (a tracer span) threads trace context: the request's
+        ``http`` span — and everything under it — parents on the caller.
+        """
         return self.network.env.process(
-            self._do_get(client, self._norm(path), max_rate),
+            self._do_get(client, self._norm(path), max_rate, parent),
             name=f"GET {path} {client}<-{self.host}",
         )
 
-    def _do_get(self, client: str, path: str, max_rate: Optional[float]):
+    def _do_get(self, client: str, path: str, max_rate: Optional[float],
+                parent=None):
         tracer = self.network.env.tracer
         span = (
-            tracer.span("http", path, client=client, server=self.host)
+            tracer.span("http", path, parent=parent,
+                        client=client, server=self.host)
             if tracer.enabled
             else None
         )
@@ -278,7 +285,7 @@ class HttpServer:
                     # May suspend in the accept queue; raises a 503 with a
                     # Retry-After hint when the request is shed.  With no
                     # admission policy this branch adds zero sim events.
-                    yield from self._admit(client, path)
+                    yield from self._admit(client, path, span)
                     admitted = True
                 body: Any = None
                 if path in self._cgi:
@@ -299,6 +306,7 @@ class HttpServer:
                 size,
                 max_rate=max_rate,
                 label=f"http:{path}",
+                parent=span,
             )
             try:
                 yield flow.done
@@ -326,12 +334,13 @@ class HttpServer:
                 self._release()
 
     # -- admission control --------------------------------------------------
-    def _admit(self, client: str, path: str):
+    def _admit(self, client: str, path: str, span=None):
         """Claim an in-flight slot, queueing (bounded) when at capacity.
 
         Raises ``HttpError(503)`` with a Retry-After hint when the accept
         queue is full, the queue wait times out, or the daemon dies while
-        the request is parked.
+        the request is parked.  Time parked in the queue is traced as an
+        ``http-queue`` span under ``span`` (the request's ``http`` span).
         """
         adm = self.admission
         env = self.network.env
@@ -344,10 +353,18 @@ class HttpServer:
         slot = env.event()
         self._accept_queue.append(slot)
         self._gauge_queue_depth()
+        queue_span = (
+            env.tracer.span("http-queue", path, parent=span,
+                            client=client, server=self.host)
+            if env.tracer.enabled
+            else None
+        )
         timer = env.timeout(adm.queue_timeout)
         try:
             yield AnyOf(env, (slot, timer))
         except Interrupt:
+            if queue_span is not None:
+                queue_span.end(outcome="aborted")
             if slot in self._accept_queue:
                 self._accept_queue.remove(slot)
                 self._gauge_queue_depth()
@@ -358,6 +375,8 @@ class HttpServer:
         except HttpError:
             # The queue was flushed (daemon killed): the slot failed with
             # the shedding 503.  The timer is still pending — defuse it.
+            if queue_span is not None:
+                queue_span.end(outcome="flushed")
             env.cancel(timer)
             raise
         if slot in self._accept_queue:
@@ -367,10 +386,14 @@ class HttpServer:
             self._accept_queue.remove(slot)
             self._gauge_queue_depth()
             self._queue_timeouts += 1
+            if queue_span is not None:
+                queue_span.end(outcome="timeout")
             if env.tracer.enabled:
                 env.tracer.metrics.inc(f"http.queue_timeouts/{self.host}")
             self._shed(client, path, "queue-timeout")
         # Granted: the releaser already counted this request in-flight.
+        if queue_span is not None:
+            queue_span.end(outcome="admitted")
         env.cancel(timer)
 
     def _retry_hint(self) -> Optional[float]:
@@ -533,16 +556,18 @@ class LoadBalancer:
         return [self.servers[(start + k) % n] for k in range(n)]
 
     def get(
-        self, client: str, path: str, max_rate: Optional[float] = None
+        self, client: str, path: str, max_rate: Optional[float] = None,
+        parent=None,
     ) -> Process:
         """GET with failover: retries the next live backend on a 503/504."""
         env = self.servers[0].network.env
         return env.process(
-            self._do_get(client, path, max_rate),
+            self._do_get(client, path, max_rate, parent),
             name=f"LB GET {path} {client}",
         )
 
-    def _do_get(self, client: str, path: str, max_rate: Optional[float]):
+    def _do_get(self, client: str, path: str, max_rate: Optional[float],
+                parent=None):
         last_error: Optional[HttpError] = None
         avoided = 0
         for server in self._rotation():
@@ -557,7 +582,8 @@ class LoadBalancer:
                 self.skips += 1
                 continue
             self.dispatches += 1
-            request = server.get(client, path, max_rate=max_rate)
+            request = server.get(client, path, max_rate=max_rate,
+                                 parent=parent)
             try:
                 response = yield request
             except Interrupt:
@@ -579,7 +605,8 @@ class LoadBalancer:
             raise HttpError(503, "all live backends avoided")
         # All backends down pre-dispatch: surface the first one's error.
         self.dispatches += 1
-        request = self.servers[0].get(client, path, max_rate=max_rate)
+        request = self.servers[0].get(client, path, max_rate=max_rate,
+                                      parent=parent)
         try:
             return (yield request)
         except Interrupt:

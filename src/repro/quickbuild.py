@@ -95,8 +95,20 @@ class RocksCluster:
     ) -> list[ShootReport]:
         """Concurrently reinstall nodes via shoot-node; returns reports."""
         targets = list(machines) if machines is not None else list(self.nodes)
-        proc = shoot_nodes(self.frontend, targets)
-        return self.env.run(until=proc)
+        tracer = self.env.tracer
+        # Root span for the whole mass reinstall: every per-node install
+        # (and everything under it) parents here, so `repro explain` can
+        # walk one causality tree for the §6.3 experiment.
+        span = (
+            tracer.span("reinstall", f"x{len(targets)}", nodes=len(targets))
+            if tracer.enabled
+            else None
+        )
+        proc = shoot_nodes(self.frontend, targets, parent=span)
+        reports = self.env.run(until=proc)
+        if span is not None:
+            span.end(ok=sum(1 for r in reports if r.ok))
+        return reports
 
     def machine(self, name: str) -> Machine:
         return self.hardware.by_name(name)

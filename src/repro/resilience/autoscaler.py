@@ -185,15 +185,19 @@ class Autoscaler:
         if self.env.now < self._cooldown_until:
             return
         if reasons and self.n_replicas < pol.max_replicas:
-            self.replica_set.add_replica()
-            self._action("scale-up", ", ".join(reasons))
+            self._action(
+                "scale-up", ", ".join(reasons), self.replica_set.add_replica
+            )
         elif (
             not reasons
             and self._calm_ticks >= pol.hold_ticks
             and self.n_replicas > pol.min_replicas
         ):
-            self.replica_set.drain_replica()
-            self._action("scale-down", f"calm for {self._calm_ticks} ticks")
+            self._action(
+                "scale-down",
+                f"calm for {self._calm_ticks} ticks",
+                self.replica_set.drain_replica,
+            )
             self._calm_ticks = 0
 
     def _inflight_high(self) -> Optional[float]:
@@ -203,16 +207,28 @@ class Autoscaler:
             return None
         return self.policy.inflight_high_frac * admission.max_concurrent
 
-    def _action(self, action: str, reason: str) -> None:
+    def _action(self, action: str, reason: str, mutate) -> None:
+        """Apply one scaling action and record it as an ``autoscale`` span.
+
+        A span (not an event) so the ``service`` lifecycle records the
+        replica start/drain emits parent here via ambient context — the
+        mutation is synchronous, so holding the context is safe.
+        """
         pol = self.policy
+        tracer = self.env.tracer
+        span = (
+            tracer.span("autoscale", action, reason=reason)
+            if tracer.enabled
+            else None
+        )
+        with tracer.context(span):
+            mutate()
         hold = pol.cooldown * (1.0 + pol.cooldown_jitter * self._rng.random())
         self._cooldown_until = self.env.now + hold
         event = ScaleEvent(self.env.now, action, self.n_replicas, reason)
         self.events.append(event)
-        tracer = self.env.tracer
-        if tracer.enabled:
-            tracer.event("autoscale", action, replicas=self.n_replicas,
-                         reason=reason)
+        if span is not None:
+            span.end(replicas=self.n_replicas)
             tracer.metrics.gauge("autoscaler.replicas", self.n_replicas)
 
     # -- reporting ---------------------------------------------------------

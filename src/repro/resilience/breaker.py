@@ -162,19 +162,30 @@ class GuardedSource:
         return dict(self._breakers)
 
     # -- InstallSource protocol -------------------------------------------
-    def fetch_kickstart(self, client: str) -> Process:
+    def fetch_kickstart(self, client: str, parent=None) -> Process:
+        # Trace context is forwarded only when present, so duck-typed
+        # sources without a ``parent`` kwarg keep working untraced.
+        if parent is None:
+            make = lambda: self.source.fetch_kickstart(client)
+        else:
+            make = lambda: self.source.fetch_kickstart(client, parent=parent)
         return self.env.process(
-            self._guard(lambda: self.source.fetch_kickstart(client)),
+            self._guard(make),
             name=f"guarded kickstart {client}",
         )
 
-    def fetch_package(self, client, dist_name, pkg, max_rate=None) -> Process:
+    def fetch_package(self, client, dist_name, pkg, max_rate=None,
+                      parent=None) -> Process:
+        if parent is None:
+            make = lambda: self.source.fetch_package(
+                client, dist_name, pkg, max_rate=max_rate
+            )
+        else:
+            make = lambda: self.source.fetch_package(
+                client, dist_name, pkg, max_rate=max_rate, parent=parent
+            )
         return self.env.process(
-            self._guard(
-                lambda: self.source.fetch_package(
-                    client, dist_name, pkg, max_rate=max_rate
-                )
-            ),
+            self._guard(make),
             name=f"guarded GET {pkg.filename} {client}",
         )
 

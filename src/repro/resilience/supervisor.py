@@ -201,38 +201,49 @@ class ServiceSupervisor:
 
     def _restart(self, entry: _Entry):
         pol = self.policy
+        tracer = self.env.tracer
         backoff = min(
             pol.restart_backoff * pol.backoff_factor**entry.failures,
             pol.max_backoff,
         )
         backoff *= 1.0 + pol.jitter * self._rng.random()
+        # The restart is a span (not an event) so the service lifecycle
+        # events it causes — repair/start below — parent on it, and a
+        # critical-path walk sees the backoff as supervisor-owned time.
+        span = (
+            tracer.span("supervisor-restart", entry.name, backoff=backoff)
+            if tracer.enabled
+            else None
+        )
         try:
             yield self.env.timeout(backoff)
         except Interrupt:
             entry.pending = False
+            if span is not None:
+                span.end(outcome="interrupted")
             return
         entry.pending = False
         service = entry.service
         if service.running:
+            if span is not None:
+                span.end(outcome="healed")
             return  # healed while we backed off (e.g. a timed fault expired)
         entry.failures += 1
         attempt = entry.failures
-        if entry.on_restart is not None:
-            entry.on_restart(service)
-        if service.faulted:
-            service.repair()
-        else:
-            service.start()
+        # Synchronous region: ambient context is safe (no yields), and it
+        # makes the service's own fail/repair/start events children of
+        # this restart without the service layer knowing about us.
+        with tracer.context(span):
+            if entry.on_restart is not None:
+                entry.on_restart(service)
+            if service.faulted:
+                service.repair()
+            else:
+                service.start()
         record = RestartRecord(self.env.now, entry.name, attempt, backoff)
         self._report.restarts.append(record)
-        tracer = self.env.tracer
-        if tracer.enabled:
-            tracer.event(
-                "supervisor-restart",
-                entry.name,
-                attempt=attempt,
-                backoff=backoff,
-            )
+        if span is not None:
+            span.end(outcome="restarted", attempt=attempt)
             tracer.metrics.inc("supervisor.restarts")
             tracer.metrics.inc(f"supervisor.restarts/{entry.name}")
 

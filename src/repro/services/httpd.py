@@ -105,22 +105,26 @@ class InstallServer(Service):
         dist_name: str,
         pkg: Package,
         max_rate: Optional[float] = None,
+        parent=None,
     ) -> Process:
         """GET one RPM (a process; yields the HttpResponse).
 
         The response carries the payload checksum the client actually
         received, so the installer can detect corrupted downloads.
+        ``parent`` threads trace context down to the HTTP span.
         """
         return self.env.process(
-            self._fetch_package(client, dist_name, pkg, max_rate),
+            self._fetch_package(client, dist_name, pkg, max_rate, parent),
             name=f"GET {pkg.filename} {client}<-{self.host}",
         )
 
     def _fetch_package(
-        self, client: str, dist_name: str, pkg: Package, max_rate: Optional[float]
+        self, client: str, dist_name: str, pkg: Package,
+        max_rate: Optional[float], parent=None,
     ) -> Generator:
         get = self.http.get(
-            client, f"{rpms_prefix(dist_name)}/{pkg.filename}", max_rate=max_rate
+            client, f"{rpms_prefix(dist_name)}/{pkg.filename}",
+            max_rate=max_rate, parent=parent,
         )
         try:
             resp = yield get
@@ -133,8 +137,8 @@ class InstallServer(Service):
             resp.checksum = f"corrupt:{pkg.checksum}"
         return resp
 
-    def fetch_kickstart(self, client: str) -> Process:
-        return self.http.get(client, KICKSTART_CGI_PATH)
+    def fetch_kickstart(self, client: str, parent=None) -> Process:
+        return self.http.get(client, KICKSTART_CGI_PATH, parent=parent)
 
     @property
     def bytes_served(self) -> float:
@@ -257,8 +261,8 @@ class InstallReplicaSet:
         return list(self._draining)
 
     # -- InstallSource protocol --------------------------------------------
-    def fetch_kickstart(self, client: str) -> Process:
-        return self.balancer.get(client, KICKSTART_CGI_PATH)
+    def fetch_kickstart(self, client: str, parent=None) -> Process:
+        return self.balancer.get(client, KICKSTART_CGI_PATH, parent=parent)
 
     def fetch_package(
         self,
@@ -266,17 +270,20 @@ class InstallReplicaSet:
         dist_name: str,
         pkg: Package,
         max_rate: Optional[float] = None,
+        parent=None,
     ) -> Process:
         return self.env.process(
-            self._fetch_package(client, dist_name, pkg, max_rate),
+            self._fetch_package(client, dist_name, pkg, max_rate, parent),
             name=f"GET {pkg.filename} {client}<-replicaset",
         )
 
     def _fetch_package(
-        self, client: str, dist_name: str, pkg: Package, max_rate: Optional[float]
+        self, client: str, dist_name: str, pkg: Package,
+        max_rate: Optional[float], parent=None,
     ) -> Generator:
         get = self.balancer.get(
-            client, f"{rpms_prefix(dist_name)}/{pkg.filename}", max_rate=max_rate
+            client, f"{rpms_prefix(dist_name)}/{pkg.filename}",
+            max_rate=max_rate, parent=parent,
         )
         try:
             resp = yield get

@@ -18,7 +18,7 @@ running :class:`MonitorDaemon` loops of its own — one source of truth.
 Call :meth:`ClusterMonitor.attach_source` with a
 :class:`~repro.monitoring.MetricAggregator` (or pass ``source=`` to
 :func:`enable_monitoring`): every agent packet is translated into a
-legacy :class:`Metrics` heartbeat, and no daemons are spawned.  The
+legacy :class:`HeartbeatMetrics` heartbeat, and no daemons are spawned.  The
 daemon path remains as the fallback when monitoring is off.
 """
 
@@ -31,11 +31,12 @@ from ..cluster import Machine, MachineState
 from ..netsim import Environment
 from .base import Service
 
-__all__ = ["Metrics", "MonitorDaemon", "ClusterMonitor", "enable_monitoring"]
+__all__ = ["HeartbeatMetrics", "MonitorDaemon", "ClusterMonitor",
+           "enable_monitoring"]
 
 
 @dataclass(frozen=True)
-class Metrics:
+class HeartbeatMetrics:
     """One heartbeat's payload."""
 
     host: str
@@ -54,7 +55,7 @@ class ClusterMonitor(Service):
         super().__init__("cluster-monitor")
         self.env = env
         self.heartbeat_seconds = heartbeat_seconds
-        self._last: dict[str, Metrics] = {}
+        self._last: dict[str, HeartbeatMetrics] = {}
         #: Hosts we expect heartbeats from; a registered host that never
         #: beats reports age == inf and shows up in down_hosts().
         self._expected: set[str] = set()
@@ -71,7 +72,7 @@ class ClusterMonitor(Service):
         """Feed this monitor from a gmond/gmetad aggregator.
 
         Every :class:`~repro.monitoring.MetricPacket` the aggregator
-        accepts is translated into a legacy :class:`Metrics` heartbeat,
+        accepts is translated into a legacy :class:`HeartbeatMetrics` heartbeat,
         so ``age``/``down_hosts``/``report`` keep working against the
         single agent-fed source of truth — no :class:`MonitorDaemon`
         needed.  The aggregator only needs ``on_packet`` and packets
@@ -83,7 +84,7 @@ class ClusterMonitor(Service):
 
     def _consume_packet(self, packet) -> None:
         self.publish(
-            Metrics(
+            HeartbeatMetrics(
                 host=packet.host,
                 time=packet.t,
                 state=packet.label("state"),
@@ -100,13 +101,13 @@ class ClusterMonitor(Service):
     def _known(self) -> set[str]:
         return self._expected | set(self._last)
 
-    def publish(self, metrics: Metrics) -> None:
+    def publish(self, metrics: HeartbeatMetrics) -> None:
         if not self.running:
             return
         self._last[metrics.host] = metrics
         self.heartbeats_received += 1
 
-    def snapshot(self) -> dict[str, Metrics]:
+    def snapshot(self) -> dict[str, HeartbeatMetrics]:
         return dict(self._last)
 
     def age(self, host: str) -> float:
@@ -158,7 +159,7 @@ class MonitorDaemon:
         while True:
             if self.machine.state is MachineState.UP:
                 self.monitor.publish(
-                    Metrics(
+                    HeartbeatMetrics(
                         host=self.machine.hostid,
                         time=env.now,
                         state=self.machine.state.value,
@@ -172,6 +173,26 @@ class MonitorDaemon:
             # Daemons beat in lockstep, so share one heap entry per tick
             # instead of one per machine.
             yield env.slotted_timeout(self.monitor.heartbeat_seconds)
+
+
+def __getattr__(name: str):
+    # Deprecation shim: this dataclass was exported as ``Metrics`` until
+    # it collided with :class:`repro.telemetry.metrics.Metrics` (the
+    # counter/gauge store) — two same-named classes one import away from
+    # each other.  The old name resolves, loudly, for one more cycle.
+    if name == "Metrics":
+        import warnings
+
+        warnings.warn(
+            "repro.services.monitor.Metrics was renamed to "
+            "HeartbeatMetrics (the old name collided with "
+            "repro.telemetry.metrics.Metrics, the counter store); "
+            "update imports — the alias will be removed",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return HeartbeatMetrics
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def enable_monitoring(env: Environment, machines: list[Machine],

@@ -13,6 +13,7 @@ import json
 from typing import Any, Iterable
 
 __all__ = [
+    "KNOWN_KINDS",
     "TRACE_FORMAT",
     "TRACE_VERSION",
     "validate_record",
@@ -21,7 +22,9 @@ __all__ = [
 ]
 
 TRACE_FORMAT = "repro-trace"
-TRACE_VERSION = 1
+#: version 2 added trace context: ``span_id``/``parent_id``/``trace_id``
+#: on spans (required) and on events (optional, present when parented).
+TRACE_VERSION = 2
 
 _NUMBER = (int, float)
 
@@ -34,6 +37,9 @@ _REQUIRED_FIELDS: dict[str, dict[str, tuple]] = {
     },
     "span": {
         "seq": (int,),
+        "span_id": (int,),
+        "parent_id": (int, type(None)),
+        "trace_id": (int,),
         "kind": (str,),
         "name": (str,),
         "t0": _NUMBER,
@@ -57,6 +63,34 @@ _REQUIRED_FIELDS: dict[str, dict[str, tuple]] = {
     },
 }
 
+#: Fields that may appear on a record type but are not required.
+_OPTIONAL_FIELDS: dict[str, dict[str, tuple]] = {
+    "event": {
+        "parent_id": (int,),
+        "trace_id": (int,),
+    },
+}
+
+#: Every span/event ``kind`` the instrumented simulation emits, one
+#: entry per taxonomy bullet in :mod:`repro.telemetry.tracer`.  The
+#: validator does not reject unknown kinds (traces must stay forward-
+#: compatible) — this set exists so tools like the critical-path
+#: analyzer and the Chrome exporter can classify records by kind.
+KNOWN_KINDS = frozenset({
+    "install", "install-phase",
+    "http", "http-queue", "http-reject",
+    "flow",
+    "service", "fault",
+    "campaign", "campaign-node", "reinstall",
+    "download-retry", "download-failed", "download-timeout",
+    "retry-wait", "dead-wait", "shoot", "boot",
+    "exec", "exec-node", "exec-retry", "exec-straggler",
+    "storm", "autoscale",
+    "supervisor-restart", "supervisor-degraded",
+    "breaker", "frontend-crash", "journal-replay",
+    "alert", "alert-clear",
+})
+
 
 def validate_record(obj: Any) -> list[str]:
     """Problems with one decoded record (empty list = valid)."""
@@ -73,9 +107,23 @@ def validate_record(obj: Any) -> list[str]:
             problems.append(
                 f"{tag}: field {field!r} is {type(obj[field]).__name__}"
             )
+    for field, types in _OPTIONAL_FIELDS.get(tag, {}).items():
+        if field in obj and not isinstance(obj[field], types):
+            problems.append(
+                f"{tag}: field {field!r} is {type(obj[field]).__name__}"
+            )
     if tag == "span" and not problems:
         if obj["t1"] is not None and obj["t1"] < obj["t0"]:
             problems.append(f"span: t1 {obj['t1']} precedes t0 {obj['t0']}")
+        if obj["span_id"] != obj["seq"]:
+            problems.append(
+                f"span: span_id {obj['span_id']} != seq {obj['seq']}"
+            )
+        if obj["parent_id"] is None and obj["trace_id"] != obj["span_id"]:
+            problems.append(
+                f"span: root trace_id {obj['trace_id']} != span_id "
+                f"{obj['span_id']}"
+            )
     if tag == "gauge" and not problems:
         for i, sample in enumerate(obj["samples"]):
             if (

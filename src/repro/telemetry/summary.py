@@ -59,9 +59,13 @@ def summarize(tracer: Tracer) -> dict:
     by_kind: dict[str, list[float]] = {}
     by_phase: dict[str, list[float]] = {}
     open_spans = 0
+    open_by_kind: dict[str, int] = {}
     for span in tracer.spans():
         if span.t1 is None:
+            # Open spans are counted, never aggregated: a null duration
+            # must not poison the p50/p95 tables below.
             open_spans += 1
+            open_by_kind[span.kind] = open_by_kind.get(span.kind, 0) + 1
             continue
         by_kind.setdefault(span.kind, []).append(span.duration)
         if span.kind == "install-phase":
@@ -84,6 +88,7 @@ def summarize(tracer: Tracer) -> dict:
         "end_time": tracer.now,
         "n_records": tracer.n_records,
         "open_spans": open_spans,
+        "open_by_kind": dict(sorted(open_by_kind.items())),
         "spans": {kind: _span_stats(d) for kind, d in sorted(by_kind.items())},
         "phases": {name: _span_stats(d) for name, d in sorted(by_phase.items())},
         "peak_link_utilization": peak_util,
@@ -100,6 +105,11 @@ def render_summary(summary: dict, top_links: Optional[int] = 8) -> str:
         + (f", {summary['open_spans']} spans left open"
            if summary["open_spans"] else "")
     ]
+    if summary.get("open_by_kind"):
+        detail = ", ".join(
+            f"{kind}={count}" for kind, count in summary["open_by_kind"].items()
+        )
+        lines.append(f"open spans by kind: {detail}")
     if summary["phases"]:
         lines.append("install phases (seconds):")
         lines.append(f"  {'phase':<12} {'count':>5} {'p50':>8} {'p95':>8} {'max':>8}")

@@ -1,5 +1,7 @@
 """Stale-suppression detection: scoping, --prune-baseline, strict gating."""
 
+from pathlib import Path
+
 from repro.analysis import Baseline, BaselineEntry, Diagnostic, Severity, SourceLocation
 from repro.cli import main
 
@@ -46,6 +48,7 @@ def test_lint_warns_on_stale_self_entry(tmp_path, capsys):
     baseline = tmp_path / "b.txt"
     baseline.write_text(
         "RK206 src/repro/netsim/http.py  # live accept queue\n"
+        "RK201 src/repro/netsim/profiler.py  # sanctioned wall-clock use\n"
         "RK206 src/repro/netsim/gone.py  # refers to deleted code\n"
     )
     code, out, err = run_cli(
@@ -69,11 +72,15 @@ def test_lint_strict_fails_on_stale_entry(tmp_path, capsys):
 
 
 def test_lint_prune_baseline_rewrites_file(tmp_path, capsys):
+    # Start from the committed baseline (it suppresses every live
+    # diagnostic in src/repro) so --strict only has the planted stale
+    # entry to complain about.
+    committed = (
+        Path(__file__).resolve().parents[2] / "lint-baseline.txt"
+    ).read_text(encoding="utf-8")
     baseline = tmp_path / "b.txt"
     baseline.write_text(
-        "RK206 src/repro/netsim/http.py  # live accept queue\n"
-        "RK207 src/repro/quickbuild.py  # live campaign surface\n"
-        "RK203 src/repro/netsim/gone.py  # refers to deleted code\n"
+        committed + "RK203 src/repro/netsim/gone.py  # refers to deleted code\n"
     )
     code, out, err = run_cli(
         capsys, "lint", "--self", "--strict",

@@ -325,4 +325,10 @@ def test_rk3xx_json_byte_identical_across_hash_seeds():
     second = _lint_deep_json("424242")
     assert first == second
     doc = json.loads(first)
-    assert doc["summary"]["error"] == 0
+    # --no-baseline resurfaces the profiler's sanctioned wall-clock use;
+    # nothing else in src/repro may rise to error severity.
+    errors = [d for d in doc["diagnostics"] if d["severity"] == "error"]
+    assert all(
+        d["code"] == "RK201" and d["file"].endswith("netsim/profiler.py")
+        for d in errors
+    )

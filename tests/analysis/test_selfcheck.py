@@ -147,8 +147,8 @@ def test_rk203_ignores_cold_paths_and_ordered_forms(tmp_path):
 
 def test_rk204_discarded_span(tmp_path):
     ctx = make_ctx(tmp_path, {"a.py": """
-        def run(tracer):
-            tracer.span("install", "node-1")
+        def run(tracer, parent):
+            tracer.span("install", "node-1", parent=parent)
     """})
     diags = analyze_self(ctx)
     assert codes(diags) == ["RK204"]
@@ -157,10 +157,10 @@ def test_rk204_discarded_span(tmp_path):
 
 def test_rk204_bound_and_with_forms_are_clean(tmp_path):
     ctx = make_ctx(tmp_path, {"a.py": """
-        def run(tracer):
-            span = tracer.span("install", "node-1")
+        def run(tracer, parent):
+            span = tracer.span("install", "node-1", parent=parent)
             span.end()
-            with tracer.span("phase", "dhcp"):
+            with tracer.span("phase", "dhcp", parent=span):
                 pass
     """})
     assert analyze_self(ctx) == []
@@ -292,6 +292,72 @@ def test_rk206_suppressible_by_baseline(tmp_path):
     )
     kept, suppressed = Baseline.from_file(baseline_file).apply(diags)
     assert kept == [] and len(suppressed) == 1
+
+
+# -- RK208: unparented spans ---------------------------------------------------
+
+
+def test_rk208_unparented_span_flagged(tmp_path):
+    ctx = make_ctx(tmp_path, {"sim.py": """
+        def run(env):
+            span = env.tracer.span("install", "node-1")
+            span.end()
+    """})
+    diags = analyze_self(ctx)
+    assert codes(diags) == ["RK208"]
+    assert "accidental" in diags[0].message
+
+
+def test_rk208_explicit_parent_none_is_clean(tmp_path):
+    """parent=None is a visible decision (maybe-parent threading), not a
+    hazard — the lint wants the decision made, not a particular value."""
+    ctx = make_ctx(tmp_path, {"sim.py": """
+        def run(env, parent):
+            span = env.tracer.span("install", "node-1", parent=None)
+            span.end()
+            env.tracer.record_span("dead-wait", "node-2", 0.0, parent=parent)
+    """})
+    assert analyze_self(ctx) == []
+
+
+def test_rk208_record_span_flagged_and_telemetry_pkg_exempt(tmp_path):
+    ctx = make_ctx(tmp_path, {
+        "core/boot.py": """
+            def note(env, t0):
+                env.tracer.record_span("dead-wait", "node-3", t0)
+        """,
+        "telemetry/tracer.py": """
+            def demo(tracer):
+                span = tracer.span("install", "node-1")
+                span.end()
+        """,
+    })
+    diags = analyze_self(ctx)
+    assert codes(diags) == ["RK208"]
+    assert diags[0].location.file.endswith("core/boot.py")
+
+
+def test_rk208_ignores_non_tracer_receivers(tmp_path):
+    ctx = make_ctx(tmp_path, {"geom.py": """
+        def run(rect):
+            return rect.span("x", "y")
+    """})
+    assert analyze_self(ctx) == []
+
+
+def test_rk201_aliased_wall_clock_flagged(tmp_path):
+    """Binding time.perf_counter to a local reads the wall clock at every
+    later call without ever matching the Call pattern — the alias itself
+    is the hazard."""
+    ctx = make_ctx(tmp_path, {"a.py": """
+        import time
+        def hot():
+            perf = time.perf_counter
+            return perf()
+    """})
+    diags = analyze_self(ctx)
+    assert codes(diags) == ["RK201"]
+    assert "aliased" in diags[0].message
 
 
 # -- self-hosting: the acceptance gate ----------------------------------------

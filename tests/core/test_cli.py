@@ -113,3 +113,46 @@ def test_trace_validate_rejects_garbage(capsys, tmp_path):
     code, out = run_cli(capsys, "trace", "--validate", str(path))
     assert code == 1
     assert "invalid" in out
+
+
+def test_trace_command_chrome_format(capsys, tmp_path):
+    path = tmp_path / "run.json"
+    code, out = run_cli(capsys, "trace", "--nodes", "2",
+                        "--format", "chrome", "--out", str(path))
+    assert code == 0
+    assert "wrote Chrome trace" in out
+    import json
+
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    assert doc["traceEvents"]
+
+
+def test_explain_command_reinstall(capsys):
+    code, out = run_cli(capsys, "explain", "--nodes", "2")
+    assert code == 0
+    assert 'critical path: reinstall "x2"' in out
+    assert "attributed to named resources:" in out
+    assert "blocked-time percentiles" in out
+
+
+def test_explain_command_writes_report(capsys, tmp_path):
+    path = tmp_path / "report.txt"
+    code, out = run_cli(capsys, "explain", "--nodes", "2",
+                        "--out", str(path), "--top", "3")
+    assert code == 0
+    assert "wrote report to" in out
+    assert "critical path:" in path.read_text(encoding="utf-8")
+
+
+def test_explain_command_with_profiler(capsys):
+    code, out = run_cli(capsys, "explain", "--nodes", "1", "--profile")
+    assert code == 0
+    assert "critical path:" in out
+    assert "engine profile:" in out
+    assert "events dispatched" in out
+
+
+def test_explain_command_byte_identical_across_runs(capsys):
+    _, first = run_cli(capsys, "explain", "--nodes", "2")
+    _, second = run_cli(capsys, "explain", "--nodes", "2")
+    assert first == second

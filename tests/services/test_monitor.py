@@ -4,7 +4,12 @@ import pytest
 
 from repro import build_cluster
 from repro.cluster import MachineState
-from repro.services import ClusterMonitor, Metrics, MonitorDaemon, enable_monitoring
+from repro.services import (
+    ClusterMonitor,
+    HeartbeatMetrics,
+    MonitorDaemon,
+    enable_monitoring,
+)
 
 
 @pytest.fixture
@@ -106,3 +111,23 @@ def test_enable_monitoring_expects_every_machine():
     assert monitor.heartbeats_received > 0  # the live node is beating
     assert sim.nodes[0].hostid in monitor.down_hosts()
     assert monitor.snapshot().get(sim.nodes[0].hostid) is None
+
+
+def test_metrics_name_deprecated_but_still_importable():
+    """`Metrics` collided with repro.telemetry.metrics.Metrics (the
+    counter store); the old name warns and resolves to HeartbeatMetrics."""
+    from repro import services
+    from repro.services import monitor
+
+    with pytest.warns(DeprecationWarning, match="HeartbeatMetrics"):
+        assert monitor.Metrics is HeartbeatMetrics
+    with pytest.warns(DeprecationWarning):
+        assert services.Metrics is HeartbeatMetrics
+    assert "Metrics" not in services.__all__
+    assert "HeartbeatMetrics" in services.__all__
+
+
+def test_telemetry_metrics_is_a_different_class():
+    from repro.telemetry.metrics import Metrics as CounterStore
+
+    assert CounterStore is not HeartbeatMetrics

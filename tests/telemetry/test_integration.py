@@ -86,3 +86,73 @@ def test_summary_of_traced_run():
     assert summary["phases"]["packages"]["count"] >= 4
     assert summary["phases"]["packages"]["p50"] > 0
     assert 0.0 < max(summary["peak_link_utilization"].values()) <= 1.0
+
+
+# -- trace-context propagation (PR 10) ----------------------------------------
+
+
+def spans_by_id(tracer):
+    return {s.span_id: s for s in tracer.spans()}
+
+
+def test_every_span_carries_deterministic_trace_context():
+    tracer, _ = traced_reinstall(n_compute=2)
+    for s in tracer.spans():
+        assert s.span_id == s.seq  # ids are seq-derived, never random
+        assert s.trace_id is not None
+        if s.parent_id is None:
+            assert s.trace_id == s.span_id  # a root starts its own trace
+
+
+def test_reinstall_causality_chain_is_fully_linked():
+    """reinstall → shoot → install → install-phase → http → flow: the
+    chain `repro explain` walks must be unbroken."""
+    tracer, _ = traced_reinstall(n_compute=2)
+    by_id = spans_by_id(tracer)
+    root = tracer.spans("reinstall")[0]
+    chain = {
+        "shoot": {"reinstall"},
+        "boot": {"shoot"},
+        "install": {"boot", "shoot", "campaign-node"},
+        "install-phase": {"install"},
+        "http": {"install-phase", "install", "journal-replay"},
+        "flow": {"http"},
+    }
+    for kind, parent_kinds in chain.items():
+        # integrate_all's first-boot installs predate the reinstall root
+        # and are legitimately unparented; the chain under the root is
+        # what `repro explain` walks.
+        spans = [s for s in tracer.spans(kind) if s.t0 >= root.t0]
+        assert spans, f"no {kind} spans recorded under the reinstall root"
+        for s in spans:
+            assert s.parent_id is not None, f"{kind} span unparented"
+            assert by_id[s.parent_id].kind in parent_kinds
+
+
+def test_descendants_inherit_the_root_trace_id():
+    tracer, _ = traced_reinstall(n_compute=2)
+    roots = [s for s in tracer.spans("reinstall")]
+    assert len(roots) == 1
+    root = roots[0]
+    for kind in ("shoot", "install", "install-phase"):
+        for s in tracer.spans(kind):
+            if s.t0 >= root.t0:  # integrate_all's installs predate the root
+                assert s.trace_id == root.trace_id
+
+
+def test_summary_counts_open_spans_by_kind():
+    from repro.netsim import Environment
+
+    tracer = Tracer()
+    env = Environment()
+    tracer.attach(env)
+    done = tracer.span("install", "node-1", parent=None)
+    done.end()
+    tracer.span("install", "node-2", parent=None)   # left open
+    tracer.span("flow", "transfer", parent=None)    # left open
+    summary = summarize(tracer)
+    assert summary["open_spans"] == 2
+    assert summary["open_by_kind"] == {"flow": 1, "install": 1}
+    # open spans are excluded from aggregation, not mixed into stats
+    assert summary["spans"]["install"]["count"] == 1
+    assert "flow" not in summary["spans"]
